@@ -1,0 +1,36 @@
+//! Ablation A2: the 4-step pipeline against per-cell baselines (§II).
+//!
+//! The paper's core claim is that indexed tiling beats testing cells
+//! individually. All three methods produce bit-identical histograms (the
+//! integration tests assert it); this bench measures their cost gap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zonal_bench::{paper_cfg, small_zones, SEED};
+use zonal_core::{baseline, run_partition};
+use zonal_gpusim::DeviceSpec;
+use zonal_raster::srtm::SyntheticSrtm;
+
+fn bench_baselines(c: &mut Criterion) {
+    let zones = small_zones(31, 25, 3);
+    let cfg = paper_cfg(DeviceSpec::gtx_titan()).with_bins(1000);
+    let part = zonal_bench::partition_of(30, "west-south", 0);
+    let grid = part.grid(cfg.tile_deg);
+    let src = SyntheticSrtm::new(grid, SEED);
+    let raster = src.to_raster();
+
+    let mut g = c.benchmark_group("ablate_baseline");
+    g.sample_size(10);
+    g.bench_function("pipeline_4step", |b| {
+        b.iter(|| run_partition(&cfg, &zones, &src).hists.total())
+    });
+    g.bench_function("full_pip", |b| {
+        b.iter(|| baseline::full_pip_parallel(&zones.layer, &raster, cfg.n_bins).total())
+    });
+    g.bench_function("scanline", |b| {
+        b.iter(|| baseline::scanline_parallel(&zones.layer, &raster, cfg.n_bins).total())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

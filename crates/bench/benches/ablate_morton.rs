@@ -1,0 +1,74 @@
+//! Ablation A4: Morton-order cell layout (the paper's §III.A future-work
+//! item).
+//!
+//! Step 1 reads tiles linearly, where layout is irrelevant; the projected
+//! benefit is for access patterns with 2-D locality (neighbourhood reads,
+//! threads mapped to 2-D sub-blocks). This bench measures a 2×2-block
+//! traversal — the GPU warp-tile access shape — against both layouts, plus
+//! layout conversion cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zonal_bench::SEED;
+use zonal_raster::morton::{morton_encode, tile_to_morton};
+use zonal_raster::srtm::SyntheticSrtm;
+use zonal_raster::TileSource;
+
+fn bench_morton(c: &mut Criterion) {
+    let part = zonal_bench::partition_of(240, "west-south", 0);
+    let grid = part.grid(0.2); // 48-cell tiles at 240 cpd
+    let src = SyntheticSrtm::new(grid, SEED);
+    let raw = src.tile(2, 2);
+    // Morton codes are contiguous only over a power-of-two square, so take
+    // the 32x32 corner block (real tiles would be padded the same way).
+    let side = 32usize.min(raw.rows).min(raw.cols);
+    let mut values = Vec::with_capacity(side * side);
+    for r in 0..side {
+        for c2 in 0..side {
+            values.push(raw.get(r, c2));
+        }
+    }
+    let tile = zonal_raster::TileData::new(values, side, side);
+    let morton = tile_to_morton(&tile);
+
+    let mut g = c.benchmark_group("ablate_morton");
+    g.sample_size(20);
+
+    // 2×2-block traversal: visit cells in warp-tile order, summing values.
+    g.bench_with_input(BenchmarkId::new("block2x2_traversal", "row_major"), &tile, |b, t| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for br in (0..side).step_by(2) {
+                for bc in (0..side).step_by(2) {
+                    for dr in 0..2 {
+                        for dc in 0..2 {
+                            acc += t.get(br + dr, bc + dc) as u64;
+                        }
+                    }
+                }
+            }
+            acc
+        })
+    });
+
+    g.bench_with_input(BenchmarkId::new("block2x2_traversal", "morton"), &morton, |b, m| {
+        b.iter(|| {
+            // In Morton order a 2×2 block is 4 consecutive elements.
+            let mut acc = 0u64;
+            for br in (0..side).step_by(2) {
+                for bc in (0..side).step_by(2) {
+                    let base = morton_encode(br as u32, bc as u32) as usize;
+                    for k in 0..4 {
+                        acc += m[base + k] as u64;
+                    }
+                }
+            }
+            acc
+        })
+    });
+
+    g.bench_function("layout_conversion", |b| b.iter(|| tile_to_morton(&tile).len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_morton);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Ablation A7: Step 2 filtering strategy — grid-file MBB rasterization
+//! (the paper's design) vs an MX-CIF quadtree over polygon MBRs (the
+//! authors' companion indexing technique, reference [11]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zonal_bench::{small_zones, us_zones};
+use zonal_core::pairing::{pair_tiles, pair_tiles_quadtree};
+use zonal_raster::TileGrid;
+
+fn bench_pairing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_pairing");
+    g.sample_size(10);
+    for (label, zones) in [("small", small_zones(16, 12, 2)), ("us", us_zones())] {
+        let part = zonal_bench::partition_of(60, "west-south", 0);
+        let grid: TileGrid = part.grid(0.1);
+        g.bench_with_input(BenchmarkId::new("grid_file", label), &zones, |b, zones| {
+            b.iter(|| pair_tiles(&zones.layer, &grid).n_candidates())
+        });
+        g.bench_with_input(BenchmarkId::new("quadtree", label), &zones, |b, zones| {
+            b.iter(|| pair_tiles_quadtree(&zones.layer, &grid).n_candidates())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pairing);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation A5: the Thrust-style primitives Step 3's post-processing is
+//! built from (paper Fig. 4), sequential vs parallel variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zonal_gpusim::primitives::{
+    exclusive_scan, exclusive_scan_par, reduce_by_key, stable_partition, stable_sort_by_key,
+};
+
+fn pair_workload(n: usize) -> Vec<(u32, u32, u8)> {
+    // Synthetic (pid, tid, code) triples like Step 2 emits.
+    (0..n)
+        .map(|i| {
+            let pid = (i % 3100) as u32;
+            let tid = ((i * 2654435761) % 150_000) as u32;
+            let code = 1 + ((i * 7) % 2) as u8;
+            (pid, tid, code)
+        })
+        .collect()
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives");
+    g.sample_size(15);
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let values: Vec<u32> = (0..n as u32).map(|i| i % 5).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("scan_seq", n), &values, |b, v| {
+            b.iter(|| exclusive_scan(v).1)
+        });
+        g.bench_with_input(BenchmarkId::new("scan_par", n), &values, |b, v| {
+            b.iter(|| exclusive_scan_par(v).1)
+        });
+
+        let triples = pair_workload(n);
+        g.bench_with_input(BenchmarkId::new("fig4_chain", n), &triples, |b, t| {
+            b.iter(|| {
+                let mut pairs = t.clone();
+                stable_sort_by_key(&mut pairs, |&(pid, _, code)| (pid, code));
+                let split = stable_partition(&mut pairs, |&(_, _, code)| code == 1);
+                let pids: Vec<u32> = pairs[..split].iter().map(|&(p, _, _)| p).collect();
+                let ones = vec![1u32; pids.len()];
+                let (keys, counts) = reduce_by_key(&pids, &ones);
+                let (pos, total) = exclusive_scan(&counts);
+                (keys.len(), pos.len(), total)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation A6: polygon simplification vs Step 4 cost.
+//!
+//! Step 4's cost is proportional to polygon edge count, so Douglas–Peucker
+//! simplification buys time at the price of boundary-cell accuracy. This
+//! bench measures the full pipeline over progressively simplified layers;
+//! the accuracy side (histogram delta) is checked in the integration tests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zonal_bench::{paper_cfg, small_zones, SEED};
+use zonal_core::pipeline::Zones;
+use zonal_core::run_partition;
+use zonal_geo::simplify::simplify_polygon;
+use zonal_geo::PolygonLayer;
+use zonal_gpusim::DeviceSpec;
+use zonal_raster::srtm::SyntheticSrtm;
+
+fn simplified_zones(base: &Zones, epsilon: f64) -> Zones {
+    let polys = base
+        .layer
+        .polygons()
+        .iter()
+        .map(|p| simplify_polygon(p, epsilon))
+        .collect();
+    Zones::new(PolygonLayer::from_polygons(polys))
+}
+
+fn bench_simplify(c: &mut Criterion) {
+    // Dense boundaries so simplification has something to remove.
+    let base = small_zones(24, 18, 8);
+    let part = zonal_bench::partition_of(40, "west-south", 0);
+    let cfg = paper_cfg(DeviceSpec::gtx_titan()).with_bins(1000).with_tile_deg(0.2);
+    let src = SyntheticSrtm::new(part.grid(0.2), SEED);
+
+    let mut g = c.benchmark_group("ablate_simplify");
+    g.sample_size(10);
+    for &eps in &[0.0f64, 0.002, 0.01, 0.05] {
+        let zones = if eps == 0.0 { base.clone() } else { simplified_zones(&base, eps) };
+        let label = format!("eps={eps} verts={}", zones.layer.total_vertices());
+        g.bench_with_input(BenchmarkId::from_parameter(label), &zones, |b, zones| {
+            b.iter(|| run_partition(&cfg, zones, &src).hists.total())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simplify);
+criterion_main!(benches);

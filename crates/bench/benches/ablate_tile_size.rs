@@ -1,0 +1,34 @@
+//! Ablation A1: tile-size tradeoff (§III.A).
+//!
+//! Larger tiles shrink per-tile histogram memory but put more cells into
+//! boundary tiles, inflating Step 4; smaller tiles do the opposite. This
+//! bench measures full-pipeline wall time across tile sizes at fixed
+//! resolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zonal_bench::{paper_cfg, small_zones, SEED};
+use zonal_core::run_partition;
+use zonal_gpusim::DeviceSpec;
+use zonal_raster::srtm::SyntheticSrtm;
+
+fn bench_tile_size(c: &mut Criterion) {
+    let zones = small_zones(31, 25, 3);
+    let part = zonal_bench::partition_of(60, "west-south", 0);
+    let mut g = c.benchmark_group("ablate_tile_size");
+    g.sample_size(10);
+    for tile_deg in [0.05f64, 0.1, 0.2, 0.4] {
+        let cfg = paper_cfg(DeviceSpec::gtx_titan())
+            .with_bins(1000)
+            .with_tile_deg(tile_deg);
+        let src = SyntheticSrtm::new(part.grid(tile_deg), SEED);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(tile_deg),
+            &(cfg, src),
+            |b, (cfg, src)| b.iter(|| run_partition(cfg, &zones, src).hists.total()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tile_size);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 6 bench: full cluster runs at 1–8 simulated nodes (real execution
+//! wall time; the figure's simulated seconds come from `tables fig6`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zonal_bench::{small_zones, SEED};
+use zonal_cluster::{run_cluster, ClusterConfig};
+
+fn bench_cluster(c: &mut Criterion) {
+    let zones = small_zones(16, 12, 2);
+    let mut g = c.benchmark_group("fig6_cluster");
+    g.sample_size(10);
+    for n_nodes in [1usize, 2, 4, 8] {
+        let mut cfg = ClusterConfig::titan(n_nodes, 16, SEED);
+        cfg.pipeline.tile_deg = 0.5;
+        cfg.pipeline.n_bins = 512;
+        g.bench_with_input(BenchmarkId::from_parameter(n_nodes), &cfg, |b, cfg| {
+            b.iter(|| run_cluster(cfg, &zones).hists.total())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

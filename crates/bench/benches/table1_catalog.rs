@@ -1,0 +1,37 @@
+//! Table 1 bench: catalog construction, partitioning, and synthetic-SRTM
+//! tile generation throughput (the workload generator feeding every other
+//! experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zonal_bench::SEED;
+use zonal_raster::srtm::{SrtmCatalog, SyntheticSrtm};
+use zonal_raster::TileSource;
+
+fn bench_catalog(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(20);
+
+    g.bench_function("catalog_partitioning", |b| {
+        b.iter(|| {
+            let cat = SrtmCatalog::new(std::hint::black_box(120));
+            let parts = cat.partitions();
+            assert_eq!(parts.len(), 36);
+            parts.iter().map(|p| p.cells()).sum::<u64>()
+        })
+    });
+
+    for cpd in [60u32, 120] {
+        let part = zonal_bench::partition_of(cpd, "west-south", 0);
+        let grid = part.grid(0.1);
+        let src = SyntheticSrtm::new(grid.clone(), SEED);
+        let cells = (grid.tile_cells() * grid.tile_cells()) as u64;
+        g.throughput(Throughput::Elements(cells));
+        g.bench_with_input(BenchmarkId::new("generate_tile", cpd), &src, |b, src| {
+            b.iter(|| src.tile(3, 2))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_catalog);
+criterion_main!(benches);

@@ -1,0 +1,217 @@
+//! Padded square bitmaps: one bitplane of a tile.
+
+/// A `side × side` binary image (side a power of two), bit-packed per row
+/// into `u64` words. Bit `(r, c)` is word `r * words_per_row + c/64`, bit
+/// `c % 64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    side: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    /// All-zero bitmap. `side` must be a power of two and ≥ 4 (the literal
+    /// leaf size).
+    pub fn zero(side: usize) -> Self {
+        assert!(side.is_power_of_two() && side >= 4, "side must be a power of two ≥ 4");
+        let words_per_row = side.div_ceil(64);
+        Bitmap { side, words_per_row, words: vec![0; words_per_row * side] }
+    }
+
+    /// Smallest legal bitmap side covering a `rows × cols` tile.
+    pub fn side_for(rows: usize, cols: usize) -> usize {
+        rows.max(cols).max(4).next_power_of_two()
+    }
+
+    /// Extract bitplane `plane` of a row-major `u16` tile, zero-padded to a
+    /// power-of-two square.
+    pub fn from_plane(values: &[u16], rows: usize, cols: usize, plane: u32) -> Self {
+        debug_assert_eq!(values.len(), rows * cols);
+        debug_assert!(plane < 16);
+        let mut bm = Bitmap::zero(Self::side_for(rows, cols));
+        for r in 0..rows {
+            for c in 0..cols {
+                if (values[r * cols + c] >> plane) & 1 == 1 {
+                    bm.set(r, c);
+                }
+            }
+        }
+        bm
+    }
+
+    #[inline]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        debug_assert!(r < self.side && c < self.side);
+        (self.words[r * self.words_per_row + c / 64] >> (c % 64)) & 1 == 1
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize) {
+        debug_assert!(r < self.side && c < self.side);
+        self.words[r * self.words_per_row + c / 64] |= 1 << (c % 64);
+    }
+
+    /// Fill the square region `(r0..r0+size, c0..c0+size)` with ones.
+    pub fn fill_region(&mut self, r0: usize, c0: usize, size: usize) {
+        for r in r0..r0 + size {
+            if size >= 64 && c0.is_multiple_of(64) {
+                // Whole-word fast path for large aligned regions.
+                let w0 = r * self.words_per_row + c0 / 64;
+                for w in 0..size / 64 {
+                    self.words[w0 + w] = u64::MAX;
+                }
+            } else {
+                for c in c0..c0 + size {
+                    self.set(r, c);
+                }
+            }
+        }
+    }
+
+    /// Classify the square region: `Some(false)` all zeros, `Some(true)`
+    /// all ones, `None` mixed.
+    pub fn region_uniform(&self, r0: usize, c0: usize, size: usize) -> Option<bool> {
+        let first = self.get(r0, c0);
+        if size >= 64 && c0.is_multiple_of(64) {
+            let want = if first { u64::MAX } else { 0 };
+            for r in r0..r0 + size {
+                let w0 = r * self.words_per_row + c0 / 64;
+                for w in 0..size / 64 {
+                    if self.words[w0 + w] != want {
+                        return None;
+                    }
+                }
+            }
+            return Some(first);
+        }
+        for r in r0..r0 + size {
+            for c in c0..c0 + size {
+                if self.get(r, c) != first {
+                    return None;
+                }
+            }
+        }
+        Some(first)
+    }
+
+    /// Pack the 4×4 region at `(r0, c0)` into 16 bits, row-major LSB-first.
+    pub fn literal16(&self, r0: usize, c0: usize) -> u16 {
+        let mut out = 0u16;
+        for dr in 0..4 {
+            for dc in 0..4 {
+                if self.get(r0 + dr, c0 + dc) {
+                    out |= 1 << (dr * 4 + dc);
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Bitmap::literal16`].
+    pub fn set_literal16(&mut self, r0: usize, c0: usize, bits: u16) {
+        for dr in 0..4 {
+            for dc in 0..4 {
+                if (bits >> (dr * 4 + dc)) & 1 == 1 {
+                    self.set(r0 + dr, c0 + dc);
+                }
+            }
+        }
+    }
+
+    /// Scatter this plane's bits into a row-major `u16` tile buffer
+    /// (cropping the padding).
+    pub fn scatter_into(&self, values: &mut [u16], rows: usize, cols: usize, plane: u32) {
+        debug_assert_eq!(values.len(), rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if self.get(r, c) {
+                    values[r * cols + c] |= 1 << plane;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_for_covers_and_pads() {
+        assert_eq!(Bitmap::side_for(1, 1), 4);
+        assert_eq!(Bitmap::side_for(4, 4), 4);
+        assert_eq!(Bitmap::side_for(5, 3), 8);
+        assert_eq!(Bitmap::side_for(360, 360), 512);
+        assert_eq!(Bitmap::side_for(100, 300), 512);
+    }
+
+    #[test]
+    fn set_get() {
+        let mut bm = Bitmap::zero(8);
+        assert!(!bm.get(3, 5));
+        bm.set(3, 5);
+        assert!(bm.get(3, 5));
+        assert!(!bm.get(5, 3));
+    }
+
+    #[test]
+    fn plane_extraction() {
+        // Values chosen so plane 0 and plane 3 differ.
+        let values = vec![0b0001u16, 0b1000, 0b1001, 0b0000];
+        let bm0 = Bitmap::from_plane(&values, 2, 2, 0);
+        let bm3 = Bitmap::from_plane(&values, 2, 2, 3);
+        assert!(bm0.get(0, 0) && !bm0.get(0, 1) && bm0.get(1, 0) && !bm0.get(1, 1));
+        assert!(!bm3.get(0, 0) && bm3.get(0, 1) && bm3.get(1, 0) && !bm3.get(1, 1));
+        // Padding is zero.
+        assert!(!bm0.get(3, 3));
+    }
+
+    #[test]
+    fn region_uniform_detection() {
+        let mut bm = Bitmap::zero(8);
+        assert_eq!(bm.region_uniform(0, 0, 8), Some(false));
+        bm.fill_region(0, 0, 4);
+        assert_eq!(bm.region_uniform(0, 0, 4), Some(true));
+        assert_eq!(bm.region_uniform(4, 4, 4), Some(false));
+        assert_eq!(bm.region_uniform(0, 0, 8), None);
+    }
+
+    #[test]
+    fn region_uniform_large_aligned() {
+        let mut bm = Bitmap::zero(128);
+        assert_eq!(bm.region_uniform(0, 0, 128), Some(false));
+        bm.fill_region(0, 64, 64);
+        assert_eq!(bm.region_uniform(0, 64, 64), Some(true));
+        assert_eq!(bm.region_uniform(0, 0, 64), Some(false));
+        assert_eq!(bm.region_uniform(0, 0, 128), None);
+    }
+
+    #[test]
+    fn literal_roundtrip() {
+        let mut bm = Bitmap::zero(8);
+        bm.set(4, 5);
+        bm.set(5, 4);
+        bm.set(7, 7);
+        let bits = bm.literal16(4, 4);
+        let mut bm2 = Bitmap::zero(8);
+        bm2.set_literal16(4, 4, bits);
+        assert_eq!(bm, bm2);
+    }
+
+    #[test]
+    fn scatter_reconstructs_plane() {
+        let values: Vec<u16> = (0..12).map(|i| (i * 37) % 16).collect();
+        let mut recon = vec![0u16; 12];
+        for plane in 0..4 {
+            let bm = Bitmap::from_plane(&values, 3, 4, plane);
+            bm.scatter_into(&mut recon, 3, 4, plane);
+        }
+        assert_eq!(recon, values);
+    }
+}

@@ -1,0 +1,158 @@
+//! MPI-like message passing between simulated nodes.
+//!
+//! Each node holds a [`Comm`] endpoint with `send`/`recv` semantics over
+//! crossbeam channels. Message delivery is real (the combine step really
+//! moves the histograms); the *cost* of each message on the cluster
+//! interconnect is modeled by [`NetworkModel`] and accounted into the
+//! simulated wall-clock, the same way the paper's measured runtimes
+//! "did include MPI communication times".
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::Serialize;
+
+/// Interconnect cost model: fixed per-message latency plus bandwidth.
+/// Defaults approximate Titan's Gemini network for the multi-megabyte
+/// histogram messages this workload sends.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct NetworkModel {
+    pub latency_secs: f64,
+    pub bandwidth_gbps: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel { latency_secs: 10e-6, bandwidth_gbps: 5.0 }
+    }
+}
+
+impl NetworkModel {
+    /// Seconds to move one `bytes`-sized message.
+    pub fn message_secs(&self, bytes: u64) -> f64 {
+        self.latency_secs + bytes as f64 / (self.bandwidth_gbps * 1e9)
+    }
+}
+
+/// One node's communication endpoint.
+pub struct Comm<T> {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<(usize, T)>>,
+    receiver: Receiver<(usize, T)>,
+}
+
+impl<T: Send> Comm<T> {
+    /// This endpoint's rank (0 is the master by convention).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of endpoints in the cluster.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `msg` to `dest` (non-blocking, unbounded buffering).
+    pub fn send(&self, dest: usize, msg: T) {
+        self.senders[dest]
+            .send((self.rank, msg))
+            .expect("receiver endpoint dropped");
+    }
+
+    /// Block until a message arrives; returns `(source_rank, message)`.
+    pub fn recv(&self) -> (usize, T) {
+        self.receiver.recv().expect("all sender endpoints dropped")
+    }
+
+    /// Receive exactly one message from every other rank (the master's
+    /// gather).
+    pub fn gather_all(&self) -> Vec<(usize, T)> {
+        (0..self.size - 1).map(|_| self.recv()).collect()
+    }
+}
+
+/// A set of wired-up endpoints, one per rank.
+pub struct Cluster;
+
+impl Cluster {
+    /// Create `n` endpoints with all-to-all connectivity.
+    #[allow(clippy::new_ret_no_self)] // factory for wired Comm endpoints
+    pub fn new<T: Send>(n: usize) -> Vec<Comm<T>> {
+        assert!(n > 0, "cluster needs at least one node");
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| Comm { rank, size: n, senders: senders.clone(), receiver })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point() {
+        let mut comms = Cluster::new::<u32>(2);
+        let c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        assert_eq!(c0.rank(), 0);
+        assert_eq!(c1.rank(), 1);
+        c1.send(0, 42);
+        let (from, v) = c0.recv();
+        assert_eq!((from, v), (1, 42));
+    }
+
+    #[test]
+    fn gather_from_workers() {
+        let comms = Cluster::new::<usize>(5);
+        std::thread::scope(|s| {
+            let mut iter = comms.into_iter();
+            let master = iter.next().unwrap();
+            for c in iter {
+                s.spawn(move || c.send(0, c.rank() * 10));
+            }
+            let mut got = master.gather_all();
+            got.sort_unstable();
+            assert_eq!(got, vec![(1, 10), (2, 20), (3, 30), (4, 40)]);
+        });
+    }
+
+    #[test]
+    fn bidirectional_threads() {
+        let mut comms = Cluster::new::<String>(2);
+        let c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let (_, ping) = c1.recv();
+                c1.send(0, format!("{ping}-pong"));
+            });
+            c0.send(1, "ping".into());
+            let (_, reply) = c0.recv();
+            assert_eq!(reply, "ping-pong");
+        });
+    }
+
+    #[test]
+    fn network_model_costs() {
+        let n = NetworkModel::default();
+        // 62 MB of histograms: latency-negligible, ~12.4 ms at 5 GB/s.
+        let t = n.message_secs(62_000_000);
+        assert!((t - 0.01241).abs() < 1e-4, "got {t}");
+        // Empty message costs exactly the latency.
+        assert_eq!(n.message_secs(0), 10e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_rejected() {
+        let _ = Cluster::new::<u32>(0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Dynamic self-scheduling cluster execution.
+//!
+//! Where [`crate::run`] distributes partitions statically up front (the
+//! paper's scheme), this runner implements the alternative the paper's
+//! §IV.C sketches: workers *pull* the next partition from a master-side
+//! queue whenever they go idle, trading one extra request round-trip per
+//! partition for automatic load balance. The execution is real — worker
+//! threads message a master thread over channels and the master hands out
+//! partition indices one at a time — and the combined histograms are
+//! asserted identical to the static runner's by the tests.
+//!
+//! Reported simulated time uses the same event model as
+//! [`crate::schedule`]: per-partition device costs come from the actual
+//! runs, and the makespan reflects pull-order assignment plus the request
+//! latency.
+
+use crate::comm::{Cluster, NetworkModel};
+use crate::run::{ClusterConfig, ClusterRun};
+use crate::imbalance::ImbalanceReport;
+use crate::node::NodeReport;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use zonal_core::pipeline::{run_partition, Zones};
+use zonal_core::ZoneHistograms;
+use zonal_raster::partition::Partition;
+use zonal_raster::srtm::{SrtmCatalog, SyntheticSrtm};
+
+/// Worker → master messages.
+enum ToMaster {
+    /// Worker `rank` is idle and wants a partition.
+    Request { rank: usize },
+    /// Worker `rank` finished everything and reports its results.
+    Finished { rank: usize, hists: ZoneHistograms, partition_costs: Vec<(usize, f64)>, n_cells: u64, edge_tests: u64, wall_secs: f64 },
+}
+
+/// Master → worker replies.
+enum ToWorker {
+    Assign(usize),
+    Done,
+}
+
+/// Run the job with dynamic self-scheduling over `cfg.n_nodes` workers.
+pub fn run_dynamic(cfg: &ClusterConfig, zones: &Zones) -> ClusterRun {
+    let t_run = std::time::Instant::now();
+    let catalog = SrtmCatalog::new(cfg.cells_per_degree);
+    let parts: Vec<Partition> = catalog.partitions();
+    let cell_factor = {
+        let f = catalog.scale_factor();
+        f * f
+    };
+
+    // Master inbox via the Comm fabric; per-worker assignment channels.
+    let comms = Cluster::new::<ToMaster>(cfg.n_nodes + 1); // extra endpoint: master
+    let mut assign_txs: Vec<Sender<ToWorker>> = Vec::with_capacity(cfg.n_nodes);
+    let mut assign_rxs: Vec<Option<Receiver<ToWorker>>> = Vec::with_capacity(cfg.n_nodes);
+    for _ in 0..cfg.n_nodes {
+        let (tx, rx) = unbounded();
+        assign_txs.push(tx);
+        assign_rxs.push(Some(rx));
+    }
+
+    let mut hists = ZoneHistograms::new(zones.len(), cfg.pipeline.n_bins);
+    let mut reports: Vec<Option<NodeReport>> = vec![None; cfg.n_nodes];
+    let mut all_costs: Vec<(usize, f64)> = Vec::with_capacity(parts.len());
+    let mut comm_secs = 0.0;
+    let mut combine_secs = 0.0;
+
+    std::thread::scope(|s| {
+        let mut iter = comms.into_iter();
+        let master = iter.next().expect("master endpoint");
+        // Workers occupy ranks 1..=n in the comm fabric; worker index is
+        // rank - 1 everywhere else.
+        for (widx, comm) in iter.enumerate() {
+            let rx = assign_rxs[widx].take().expect("fresh receiver");
+            let parts = &parts;
+            let zones_ref = &zones;
+            let pipeline = cfg.pipeline;
+            let seed = cfg.seed;
+            s.spawn(move || {
+                let t0 = std::time::Instant::now();
+                let mut local = ZoneHistograms::new(zones_ref.len(), pipeline.n_bins);
+                let mut costs = Vec::new();
+                let mut n_cells = 0u64;
+                let mut edge_tests = 0u64;
+                loop {
+                    comm.send(0, ToMaster::Request { rank: widx });
+                    match rx.recv().expect("master alive") {
+                        ToWorker::Done => break,
+                        ToWorker::Assign(pidx) => {
+                            let part = parts[pidx];
+                            let grid = part.grid(pipeline.tile_deg);
+                            let src = SyntheticSrtm::new(grid, seed);
+                            let r = run_partition(&pipeline, zones_ref, &src);
+                            costs.push((pidx, r.timings.end_to_end_sim_secs_at_scale(cell_factor)));
+                            n_cells += r.counts.n_cells;
+                            edge_tests += r.counts.edge_tests;
+                            local.merge(&r.hists);
+                        }
+                    }
+                }
+                comm.send(
+                    0,
+                    ToMaster::Finished {
+                        rank: widx,
+                        hists: local,
+                        partition_costs: costs,
+                        n_cells,
+                        edge_tests,
+                        wall_secs: t0.elapsed().as_secs_f64(),
+                    },
+                );
+            });
+        }
+
+        // Master loop: hand out partitions in catalog order on demand.
+        let mut next = 0usize;
+        let mut finished = 0usize;
+        while finished < cfg.n_nodes {
+            let (_, msg) = master.recv();
+            match msg {
+                ToMaster::Request { rank } => {
+                    comm_secs += cfg.network.message_secs(16); // request round-trip payload
+                    if next < parts.len() {
+                        assign_txs[rank].send(ToWorker::Assign(next)).expect("worker alive");
+                        next += 1;
+                    } else {
+                        assign_txs[rank].send(ToWorker::Done).expect("worker alive");
+                    }
+                }
+                ToMaster::Finished { rank, hists: h, partition_costs, n_cells, edge_tests, wall_secs, .. } => {
+                    comm_secs += cfg.network.message_secs(h.output_bytes());
+                    let t_combine = std::time::Instant::now();
+                    hists.merge(&h);
+                    combine_secs += t_combine.elapsed().as_secs_f64();
+                    let sim: f64 = partition_costs.iter().map(|&(_, c)| c).sum();
+                    reports[rank] = Some(NodeReport {
+                        rank,
+                        n_partitions: partition_costs.len(),
+                        sim_secs: sim,
+                        wall_secs,
+                        n_cells,
+                        edge_tests,
+                    });
+                    all_costs.extend(partition_costs);
+                    finished += 1;
+                }
+            }
+        }
+    });
+
+    // Simulated makespan: event-model pull scheduling over the measured
+    // per-partition costs (catalog order, as the master assigned them).
+    all_costs.sort_by_key(|&(pidx, _)| pidx);
+    let costs: Vec<f64> = all_costs.iter().map(|&(_, c)| c).collect();
+    let cells: Vec<u64> = parts.iter().map(Partition::cells).collect();
+    let outcome = crate::schedule::simulate(
+        crate::schedule::Policy::DynamicSelfScheduling,
+        &costs,
+        &cells,
+        cfg.n_nodes,
+        NetworkModel::default().message_secs(16),
+    );
+
+    let nodes: Vec<NodeReport> = reports.into_iter().map(|r| r.expect("all workers reported")).collect();
+    let imbalance = ImbalanceReport::from_node_secs(&outcome.node_loads);
+    ClusterRun {
+        hists,
+        sim_secs: outcome.makespan + comm_secs + combine_secs,
+        wall_secs: t_run.elapsed().as_secs_f64(),
+        comm_secs,
+        combine_secs,
+        imbalance,
+        nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::run_cluster;
+    use zonal_geo::CountyConfig;
+
+    fn zones() -> Zones {
+        let mut c = CountyConfig::us_like(3);
+        c.nx = 10;
+        c.ny = 7;
+        c.edge_subdiv = 2;
+        Zones::new(c.generate())
+    }
+
+    fn cfg(n: usize) -> ClusterConfig {
+        let mut c = ClusterConfig::titan(n, 5, 3);
+        c.pipeline.tile_deg = 1.0;
+        c.pipeline.n_bins = 200;
+        c
+    }
+
+    #[test]
+    fn dynamic_matches_static_results() {
+        let zones = zones();
+        let stat = run_cluster(&cfg(4), &zones);
+        let dynamic = run_dynamic(&cfg(4), &zones);
+        assert_eq!(stat.hists, dynamic.hists, "scheduling must not change the answer");
+        assert_eq!(
+            dynamic.nodes.iter().map(|n| n.n_partitions).sum::<usize>(),
+            36,
+            "all partitions processed exactly once"
+        );
+    }
+
+    #[test]
+    fn single_worker_dynamic() {
+        let zones = zones();
+        let run = run_dynamic(&cfg(1), &zones);
+        assert_eq!(run.nodes.len(), 1);
+        assert_eq!(run.nodes[0].n_partitions, 36);
+        assert!(run.sim_secs > 0.0);
+    }
+
+    #[test]
+    fn all_cells_processed_once() {
+        let zones = zones();
+        let run = run_dynamic(&cfg(6), &zones);
+        let expected: u64 = SrtmCatalog::new(5).total_cells();
+        assert_eq!(run.nodes.iter().map(|n| n.n_cells).sum::<u64>(), expected);
+    }
+
+    #[test]
+    fn dynamic_balances_at_least_as_well_as_static() {
+        let zones = zones();
+        let stat = run_cluster(&cfg(8), &zones);
+        let dynamic = run_dynamic(&cfg(8), &zones);
+        // Compare imbalance of simulated node loads.
+        assert!(
+            dynamic.imbalance.max_over_mean <= stat.imbalance.max_over_mean + 0.05,
+            "dynamic {:.3} vs static {:.3}",
+            dynamic.imbalance.max_over_mean,
+            stat.imbalance.max_over_mean
+        );
+    }
+}

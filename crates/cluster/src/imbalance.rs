@@ -1,0 +1,94 @@
+//! Load-imbalance metrics.
+//!
+//! The paper observes (§IV.C) that as node count grows, "raster tiles that
+//! are at the edge of spatial coverage of polygon dataset … are likely to
+//! have large portions … completely outside of any polygon", so some nodes
+//! finish early and scalability degrades. These metrics quantify that.
+
+use serde::Serialize;
+
+/// Summary of per-node time dispersion.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ImbalanceReport {
+    pub n_nodes: usize,
+    pub max_secs: f64,
+    pub min_secs: f64,
+    pub mean_secs: f64,
+    /// Slowest node relative to the mean; 1.0 is perfect balance, and the
+    /// parallel efficiency ceiling is `1 / max_over_mean`.
+    pub max_over_mean: f64,
+    /// Coefficient of variation (σ/μ) of node times.
+    pub cv: f64,
+}
+
+impl ImbalanceReport {
+    pub fn from_node_secs(secs: &[f64]) -> Self {
+        assert!(!secs.is_empty(), "need at least one node");
+        let n = secs.len() as f64;
+        let max = secs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let min = secs.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        let mean = secs.iter().sum::<f64>() / n;
+        let var = secs.iter().map(|&s| (s - mean) * (s - mean)).sum::<f64>() / n;
+        let (max_over_mean, cv) = if mean > 0.0 {
+            (max / mean, var.sqrt() / mean)
+        } else {
+            (1.0, 0.0)
+        };
+        ImbalanceReport { n_nodes: secs.len(), max_secs: max, min_secs: min, mean_secs: mean, max_over_mean, cv }
+    }
+
+    /// Parallel efficiency implied by the imbalance alone (ignoring
+    /// communication): `mean / max`.
+    pub fn efficiency(&self) -> f64 {
+        if self.max_secs > 0.0 {
+            self.mean_secs / self.max_secs
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_balance() {
+        let r = ImbalanceReport::from_node_secs(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(r.max_over_mean, 1.0);
+        assert_eq!(r.cv, 0.0);
+        assert_eq!(r.efficiency(), 1.0);
+        assert_eq!(r.n_nodes, 4);
+    }
+
+    #[test]
+    fn skewed_load() {
+        let r = ImbalanceReport::from_node_secs(&[1.0, 1.0, 1.0, 5.0]);
+        assert_eq!(r.max_secs, 5.0);
+        assert_eq!(r.min_secs, 1.0);
+        assert_eq!(r.mean_secs, 2.0);
+        assert_eq!(r.max_over_mean, 2.5);
+        assert!((r.efficiency() - 0.4).abs() < 1e-12);
+        assert!(r.cv > 0.8);
+    }
+
+    #[test]
+    fn single_node_trivially_balanced() {
+        let r = ImbalanceReport::from_node_secs(&[3.7]);
+        assert_eq!(r.max_over_mean, 1.0);
+        assert_eq!(r.efficiency(), 1.0);
+    }
+
+    #[test]
+    fn zero_work_nodes() {
+        let r = ImbalanceReport::from_node_secs(&[0.0, 0.0]);
+        assert_eq!(r.max_over_mean, 1.0);
+        assert_eq!(r.efficiency(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_rejected() {
+        let _ = ImbalanceReport::from_node_secs(&[]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Simulated GPU-accelerated cluster (the paper's ORNL Titan experiment).
+//!
+//! The paper's Fig. 6 runs the pipeline on 1–16 Titan nodes: each node owns
+//! a static subset of the 36 raster partitions (Table 1), processes them on
+//! its K20X GPU, and MPI-sends its per-polygon histograms to a master that
+//! combines them; the reported wall-clock is the slowest node's, inclusive
+//! of MPI time.
+//!
+//! This crate reproduces that shape with threads in place of hosts:
+//!
+//! * [`comm`] — typed point-to-point channels with an MPI-like API and a
+//!   latency/bandwidth network cost model;
+//! * [`node`] — the per-node worker: run the pipeline over the node's
+//!   partitions (for real, on the shared CPU pool) and report simulated
+//!   K20X seconds;
+//! * [`run`] — the scaling driver that regenerates Fig. 6 plus the §IV.C
+//!   single-node comparison; and
+//! * [`imbalance`] — the load-balance metrics behind the paper's
+//!   "southern-Florida tiles" discussion.
+
+pub mod comm;
+pub mod dynamic;
+pub mod imbalance;
+pub mod node;
+pub mod run;
+pub mod schedule;
+
+pub use comm::{Cluster, Comm, NetworkModel};
+pub use imbalance::ImbalanceReport;
+pub use node::{NodeInput, NodeReport};
+pub use run::{run_cluster, run_scaling, Assignment, ClusterConfig, ClusterRun, ScalingPoint};
+pub use dynamic::run_dynamic;
+pub use schedule::{measure_partition_costs, simulate, Policy, ScheduleOutcome};

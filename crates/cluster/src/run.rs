@@ -1,0 +1,271 @@
+//! Cluster scaling driver: regenerates the paper's Fig. 6.
+
+use crate::comm::{Cluster, NetworkModel};
+use crate::imbalance::ImbalanceReport;
+use crate::node::{run_node, NodeInput, NodeReport};
+use serde::Serialize;
+use zonal_core::pipeline::Zones;
+use zonal_core::{PipelineConfig, ZoneHistograms};
+use zonal_gpusim::DeviceSpec;
+use zonal_raster::partition::{assign_balanced, assign_round_robin, Partition};
+use zonal_raster::srtm::SrtmCatalog;
+
+/// Partition→node assignment policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Assignment {
+    /// The paper's static distribution.
+    RoundRobin,
+    /// Greedy balance by cell count (the §IV.C improvement direction).
+    BalancedByCells,
+}
+
+/// Cluster experiment configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterConfig {
+    pub n_nodes: usize,
+    /// Raster resolution (3600 = the paper's full SRTM scale).
+    pub cells_per_degree: u32,
+    /// Terrain seed.
+    pub seed: u64,
+    pub pipeline: PipelineConfig,
+    pub assignment: Assignment,
+    pub network: NetworkModel,
+}
+
+impl ClusterConfig {
+    /// The paper's Titan setup at a chosen resolution: K20X per node,
+    /// 0.1° tiles, 5000 bins, round-robin partitions.
+    pub fn titan(n_nodes: usize, cells_per_degree: u32, seed: u64) -> Self {
+        ClusterConfig {
+            n_nodes,
+            cells_per_degree,
+            seed,
+            pipeline: PipelineConfig::paper(DeviceSpec::tesla_k20x()),
+            assignment: Assignment::RoundRobin,
+            network: NetworkModel::default(),
+        }
+    }
+}
+
+/// Outcome of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterRun {
+    /// Combined zone histograms (identical to a single-node run).
+    pub hists: ZoneHistograms,
+    /// Per-node reports, rank order.
+    pub nodes: Vec<NodeReport>,
+    /// Simulated end-to-end seconds: slowest node + MPI + master combine
+    /// (the paper's "longest runtime among all the nodes as the wall-clock
+    /// end-to-end runtime", MPI included).
+    pub sim_secs: f64,
+    /// Real wall seconds of the whole simulated run.
+    pub wall_secs: f64,
+    /// Simulated MPI seconds (histogram gather).
+    pub comm_secs: f64,
+    /// Master-side combine seconds (measured; "a small fraction of a
+    /// second" in the paper).
+    pub combine_secs: f64,
+    pub imbalance: ImbalanceReport,
+}
+
+/// Message workers send to the master.
+struct WorkerMsg {
+    report: NodeReport,
+    hists: ZoneHistograms,
+}
+
+/// Run the full job on a simulated cluster at full-scale extrapolation
+/// factor `(3600 / cells_per_degree)²`.
+pub fn run_cluster(cfg: &ClusterConfig, zones: &Zones) -> ClusterRun {
+    let t_run = std::time::Instant::now();
+    let catalog = SrtmCatalog::new(cfg.cells_per_degree);
+    let parts: Vec<Partition> = catalog.partitions();
+    let assignment = match cfg.assignment {
+        Assignment::RoundRobin => assign_round_robin(parts.len(), cfg.n_nodes),
+        Assignment::BalancedByCells => {
+            let weights: Vec<u64> = parts.iter().map(Partition::cells).collect();
+            assign_balanced(&weights, cfg.n_nodes)
+        }
+    };
+    let cell_factor = {
+        let f = catalog.scale_factor();
+        f * f
+    };
+
+    let inputs: Vec<NodeInput> = assignment
+        .iter()
+        .enumerate()
+        .map(|(rank, idxs)| NodeInput {
+            rank,
+            partitions: idxs.iter().map(|&i| parts[i]).collect(),
+            pipeline: cfg.pipeline,
+            seed: cfg.seed,
+        })
+        .collect();
+
+    // Wire up rank 0 (master + worker, as in the paper: "the master node
+    // was used to combine per-polygon histograms") and the workers.
+    let comms = Cluster::new::<WorkerMsg>(cfg.n_nodes);
+    let mut reports: Vec<Option<NodeReport>> = vec![None; cfg.n_nodes];
+    let mut hists = ZoneHistograms::new(zones.len(), cfg.pipeline.n_bins);
+    let mut comm_secs = 0.0;
+    let mut combine_secs = 0.0;
+
+    std::thread::scope(|s| {
+        let mut iter = comms.into_iter();
+        let master = iter.next().expect("n_nodes > 0");
+        for comm in iter {
+            let input = inputs[comm.rank()].clone();
+            let zones_ref = &zones;
+            s.spawn(move || {
+                let (result, report) = run_node(&input, zones_ref, cell_factor);
+                comm.send(0, WorkerMsg { report, hists: result.hists });
+            });
+        }
+        // Master does its own share first…
+        let (own, own_report) = run_node(&inputs[0], zones, cell_factor);
+        hists.merge(&own.hists);
+        reports[0] = Some(own_report);
+        // …then gathers and combines the workers' histograms.
+        for _ in 1..cfg.n_nodes {
+            let (_, msg) = master.recv();
+            comm_secs += cfg.network.message_secs(msg.hists.output_bytes());
+            let t_combine = std::time::Instant::now();
+            hists.merge(&msg.hists);
+            combine_secs += t_combine.elapsed().as_secs_f64();
+            let rank = msg.report.rank;
+            reports[rank] = Some(msg.report);
+        }
+    });
+
+    let nodes: Vec<NodeReport> = reports.into_iter().map(|r| r.expect("all ranks reported")).collect();
+    let slowest = nodes.iter().map(|n| n.sim_secs).fold(0.0, f64::max);
+    let imbalance = ImbalanceReport::from_node_secs(&nodes.iter().map(|n| n.sim_secs).collect::<Vec<_>>());
+    ClusterRun {
+        hists,
+        sim_secs: slowest + comm_secs + combine_secs,
+        wall_secs: t_run.elapsed().as_secs_f64(),
+        comm_secs,
+        combine_secs,
+        imbalance,
+        nodes,
+    }
+}
+
+/// One point of the Fig. 6 curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingPoint {
+    pub n_nodes: usize,
+    pub sim_secs: f64,
+    pub wall_secs: f64,
+    pub imbalance_ratio: f64,
+}
+
+/// Sweep node counts (the paper uses 1, 2, 4, 8, 16) over the same
+/// workload. Also asserts the combined result is identical across node
+/// counts — the distribution must not change the answer.
+pub fn run_scaling(
+    base: &ClusterConfig,
+    zones: &Zones,
+    node_counts: &[usize],
+) -> Vec<(ScalingPoint, ClusterRun)> {
+    let mut reference: Option<ZoneHistograms> = None;
+    node_counts
+        .iter()
+        .map(|&n| {
+            let mut cfg = base.clone();
+            cfg.n_nodes = n;
+            let run = run_cluster(&cfg, zones);
+            match &reference {
+                None => reference = Some(run.hists.clone()),
+                Some(r) => assert_eq!(
+                    r, &run.hists,
+                    "cluster result must be independent of node count"
+                ),
+            }
+            let point = ScalingPoint {
+                n_nodes: n,
+                sim_secs: run.sim_secs,
+                wall_secs: run.wall_secs,
+                imbalance_ratio: run.imbalance.max_over_mean,
+            };
+            (point, run)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zonal_geo::CountyConfig;
+
+    fn tiny_zones() -> Zones {
+        let mut c = CountyConfig::us_like(7);
+        c.nx = 8;
+        c.ny = 5;
+        c.edge_subdiv = 2;
+        Zones::new(c.generate())
+    }
+
+    fn tiny_cfg(n_nodes: usize) -> ClusterConfig {
+        let mut cfg = ClusterConfig::titan(n_nodes, 4, 11);
+        cfg.pipeline.tile_deg = 1.0;
+        cfg.pipeline.n_bins = 64;
+        cfg
+    }
+
+    #[test]
+    fn cluster_matches_single_node() {
+        let zones = tiny_zones();
+        let single = run_cluster(&tiny_cfg(1), &zones);
+        let four = run_cluster(&tiny_cfg(4), &zones);
+        assert_eq!(single.hists, four.hists);
+        assert_eq!(four.nodes.len(), 4);
+        // All 36 partitions processed.
+        assert_eq!(four.nodes.iter().map(|n| n.n_partitions).sum::<usize>(), 36);
+    }
+
+    #[test]
+    fn scaling_reduces_time() {
+        let zones = tiny_zones();
+        let points = run_scaling(&tiny_cfg(1), &zones, &[1, 4, 8]);
+        assert_eq!(points.len(), 3);
+        let t1 = points[0].0.sim_secs;
+        let t4 = points[1].0.sim_secs;
+        let t8 = points[2].0.sim_secs;
+        assert!(t4 < t1, "4 nodes beat 1: {t4} vs {t1}");
+        assert!(t8 < t4, "8 nodes beat 4: {t8} vs {t4}");
+        // Sub-linear beyond perfect scaling is expected (imbalance).
+        assert!(t4 >= t1 / 4.0 * 0.99);
+    }
+
+    #[test]
+    fn more_nodes_than_partitions() {
+        let zones = tiny_zones();
+        let run = run_cluster(&tiny_cfg(40), &zones);
+        assert_eq!(run.nodes.len(), 40);
+        // 36 partitions → 4 idle nodes; result still correct.
+        let idle = run.nodes.iter().filter(|n| n.n_partitions == 0).count();
+        assert_eq!(idle, 4);
+        assert_eq!(run.hists, run_cluster(&tiny_cfg(1), &zones).hists);
+    }
+
+    #[test]
+    fn balanced_assignment_no_worse() {
+        let zones = tiny_zones();
+        let rr = run_cluster(&tiny_cfg(8), &zones);
+        let mut bal_cfg = tiny_cfg(8);
+        bal_cfg.assignment = Assignment::BalancedByCells;
+        let bal = run_cluster(&bal_cfg, &zones);
+        assert_eq!(rr.hists, bal.hists, "assignment must not change results");
+    }
+
+    #[test]
+    fn comm_cost_grows_with_nodes() {
+        let zones = tiny_zones();
+        let two = run_cluster(&tiny_cfg(2), &zones);
+        let eight = run_cluster(&tiny_cfg(8), &zones);
+        assert!(eight.comm_secs > two.comm_secs, "more workers send more messages");
+        assert!(two.comm_secs > 0.0);
+    }
+}

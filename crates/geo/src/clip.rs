@@ -1,0 +1,281 @@
+//! Polygon clipping against axis-aligned boxes (Sutherland–Hodgman).
+//!
+//! Supports the exact, area-weighted variant of zonal statistics: for
+//! boundary cells, instead of an all-or-nothing point test, compute the
+//! exact area of `polygon ∩ cell` (the "weighted centers" direction the
+//! paper's §III.D gestures at, taken to its limit). Clipping a ring
+//! against a convex window is the textbook Sutherland–Hodgman sweep over
+//! the window's four half-planes.
+
+use crate::mbr::Mbr;
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::ring::Ring;
+
+/// The four half-planes of an axis-aligned clip window.
+#[derive(Clone, Copy)]
+enum Edge {
+    Left(f64),
+    Right(f64),
+    Bottom(f64),
+    Top(f64),
+}
+
+impl Edge {
+    #[inline]
+    fn inside(&self, p: Point) -> bool {
+        match *self {
+            Edge::Left(x) => p.x >= x,
+            Edge::Right(x) => p.x <= x,
+            Edge::Bottom(y) => p.y >= y,
+            Edge::Top(y) => p.y <= y,
+        }
+    }
+
+    /// Intersection of segment `a`–`b` with this edge's boundary line.
+    /// Only called when the segment straddles the line.
+    #[inline]
+    fn intersect(&self, a: Point, b: Point) -> Point {
+        match *self {
+            Edge::Left(x) | Edge::Right(x) => {
+                let t = (x - a.x) / (b.x - a.x);
+                Point::new(x, a.y + t * (b.y - a.y))
+            }
+            Edge::Bottom(y) | Edge::Top(y) => {
+                let t = (y - a.y) / (b.y - a.y);
+                Point::new(a.x + t * (b.x - a.x), y)
+            }
+        }
+    }
+}
+
+/// Clip a ring against a box; returns the clipped vertex loop (possibly
+/// empty). Output orientation follows input orientation; degenerate
+/// (zero-area) outputs are possible for rings that only graze the box.
+pub fn clip_ring(ring: &Ring, window: &Mbr) -> Vec<Point> {
+    let mut pts: Vec<Point> = ring.points().to_vec();
+    for edge in [
+        Edge::Left(window.min_x),
+        Edge::Right(window.max_x),
+        Edge::Bottom(window.min_y),
+        Edge::Top(window.max_y),
+    ] {
+        if pts.is_empty() {
+            break;
+        }
+        let mut out = Vec::with_capacity(pts.len() + 4);
+        for i in 0..pts.len() {
+            let cur = pts[i];
+            let prev = pts[(i + pts.len() - 1) % pts.len()];
+            match (edge.inside(prev), edge.inside(cur)) {
+                (true, true) => out.push(cur),
+                (true, false) => out.push(edge.intersect(prev, cur)),
+                (false, true) => {
+                    out.push(edge.intersect(prev, cur));
+                    out.push(cur);
+                }
+                (false, false) => {}
+            }
+        }
+        pts = out;
+    }
+    pts
+}
+
+/// Signed area of a vertex loop (shoelace; positive when CCW).
+fn loop_signed_area(pts: &[Point]) -> f64 {
+    let n = pts.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let mut s = 0.0;
+    for i in 0..n {
+        let a = pts[i];
+        let b = pts[(i + 1) % n];
+        s += a.x * b.y - b.x * a.y;
+    }
+    s * 0.5
+}
+
+/// Exact area of `polygon ∩ window` under the parity (even-odd) rule.
+///
+/// Each ring is clipped independently and its signed area accumulated
+/// with the sign of its original orientation-independent parity
+/// contribution: clipping preserves orientation, and for well-nested
+/// rings (shell CCW-or-CW, holes opposite or same — we normalize by the
+/// ring's nesting depth as [`Polygon::area`] does) the magnitudes
+/// subtract correctly.
+pub fn intersection_area(poly: &Polygon, window: &Mbr) -> f64 {
+    if window.is_empty() || !poly.mbr().intersects(window) {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (i, ring) in poly.rings().iter().enumerate() {
+        let clipped = clip_ring(ring, window);
+        let a = loop_signed_area(&clipped).abs();
+        if a == 0.0 {
+            continue;
+        }
+        // Depth parity: rings nested at odd depth subtract (holes), even
+        // depth add (shells, islands) — same classification as
+        // Polygon::area.
+        let probe = match ring.points().first() {
+            Some(&p) => p,
+            None => continue,
+        };
+        let depth = poly
+            .rings()
+            .iter()
+            .enumerate()
+            .filter(|(j, other)| *j != i && crate::pip::point_in_ring(probe, other))
+            .count();
+        if depth % 2 == 0 {
+            total += a;
+        } else {
+            total -= a;
+        }
+    }
+    total.clamp(0.0, window.area())
+}
+
+/// Fraction of `window` covered by `poly` (0..=1).
+pub fn coverage_fraction(poly: &Polygon, window: &Mbr) -> f64 {
+    let wa = window.area();
+    if wa == 0.0 {
+        return 0.0;
+    }
+    (intersection_area(poly, window) / wa).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_fully_inside_window() {
+        let ring = Ring::rect(1.0, 1.0, 2.0, 2.0);
+        let window = Mbr::new(0.0, 0.0, 10.0, 10.0);
+        let clipped = clip_ring(&ring, &window);
+        assert_eq!(loop_signed_area(&clipped), 1.0);
+    }
+
+    #[test]
+    fn ring_fully_outside_window() {
+        let ring = Ring::rect(5.0, 5.0, 6.0, 6.0);
+        let window = Mbr::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(loop_signed_area(&clip_ring(&ring, &window)), 0.0);
+    }
+
+    #[test]
+    fn window_fully_inside_ring() {
+        let ring = Ring::rect(0.0, 0.0, 10.0, 10.0);
+        let window = Mbr::new(4.0, 4.0, 5.0, 6.0);
+        let clipped = clip_ring(&ring, &window);
+        assert!((loop_signed_area(&clipped) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_overlap_rect() {
+        let poly = Polygon::rect(0.0, 0.0, 1.0, 2.0);
+        let window = Mbr::new(0.5, 0.0, 1.5, 2.0);
+        assert!((intersection_area(&poly, &window) - 1.0).abs() < 1e-12);
+        assert!((coverage_fraction(&poly, &window) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_corner_clip() {
+        // Right triangle with legs 2; window the unit square at the right
+        // angle: intersection is half the square... compute: triangle
+        // (0,0),(2,0),(0,2); window [0,1]²: region x+y<=2 within the square
+        // is the whole square except nothing (x+y max = 2 at corner) minus
+        // the corner above x+y=2 — the full square area 1.0? At (1,1):
+        // x+y=2 = boundary. So area = 1 - 0 = 1... the cut line x+y=2
+        // touches only the corner: area 1.0.
+        let tri = Polygon::from_ring(Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 2.0),
+        ]));
+        let window = Mbr::new(0.0, 0.0, 1.0, 1.0);
+        assert!((intersection_area(&tri, &window) - 1.0).abs() < 1e-12);
+        // Shifted window [1,2]²: intersection is the triangle corner cut by
+        // x+y<=2: a right triangle with legs 1 → area 0.5... vertices
+        // (1,1),(2,0)? No: triangle region is x>=0,y>=0,x+y<=2; window
+        // [1,2]x[1,2]; intersection = {x in [1,2], y in [1,2], x+y<=2} =
+        // triangle (1,1),(2,0)... y>=1 & x>=1 & x+y<=2 → vertices (1,1)
+        // only... it's the set where x+y<=2, x,y>=1: a triangle with
+        // vertices (1,1), (1,1)… actually: x=1 → y<=1 → y=1 only. So the
+        // region degenerates to the single point (1,1): area 0.
+        let window2 = Mbr::new(1.0, 1.0, 2.0, 2.0);
+        assert!(intersection_area(&tri, &window2).abs() < 1e-12);
+        // Window [0.5,1.5]²: region x,y in [0.5,1.5], x+y<=2 → square of
+        // area 1 minus corner triangle above x+y=2 with legs 1 → 1 - 0.5 = 0.5.
+        let window3 = Mbr::new(0.5, 0.5, 1.5, 1.5);
+        assert!((intersection_area(&tri, &window3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hole_subtracts_area() {
+        let poly = Polygon::new(vec![
+            Ring::rect(0.0, 0.0, 4.0, 4.0),
+            Ring::rect(1.0, 1.0, 3.0, 3.0),
+        ]);
+        // Window covering the whole polygon: area = 16 - 4.
+        let w = Mbr::new(-1.0, -1.0, 5.0, 5.0);
+        assert!((intersection_area(&poly, &w) - 12.0).abs() < 1e-12);
+        // Window inside the hole: zero.
+        let w2 = Mbr::new(1.5, 1.5, 2.5, 2.5);
+        assert!(intersection_area(&poly, &w2).abs() < 1e-12);
+        // Window straddling the hole edge: half in annulus.
+        let w3 = Mbr::new(0.5, 1.5, 1.5, 2.5);
+        assert!((intersection_area(&poly, &w3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn island_in_hole_adds_back() {
+        let poly = Polygon::new(vec![
+            Ring::rect(0.0, 0.0, 8.0, 8.0),
+            Ring::rect(2.0, 2.0, 6.0, 6.0),
+            Ring::rect(3.0, 3.0, 5.0, 5.0),
+        ]);
+        let w = Mbr::new(0.0, 0.0, 8.0, 8.0);
+        assert!((intersection_area(&poly, &w) - (64.0 - 16.0 + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_summed_over_grid_equals_polygon_area() {
+        // Tile a window into cells; the coverage fractions times cell area
+        // must sum to the polygon area (clipping is exact, no tolerance
+        // beyond float rounding).
+        let poly = Polygon::from_ring(Ring::circle(Point::new(2.0, 2.0), 1.3, 64));
+        let mut total = 0.0;
+        let cell = 0.25;
+        for i in 0..16 {
+            for j in 0..16 {
+                let w = Mbr::new(
+                    i as f64 * cell,
+                    j as f64 * cell,
+                    (i + 1) as f64 * cell,
+                    (j + 1) as f64 * cell,
+                );
+                total += intersection_area(&poly, &w);
+            }
+        }
+        assert!(
+            (total - poly.area()).abs() < 1e-9,
+            "grid-summed area {total} vs polygon {}",
+            poly.area()
+        );
+    }
+
+    #[test]
+    fn orientation_independent() {
+        let mut ring = Ring::rect(0.0, 0.0, 2.0, 2.0);
+        let w = Mbr::new(1.0, 0.0, 3.0, 2.0);
+        let a1 = intersection_area(&Polygon::from_ring(ring.clone()), &w);
+        ring.reverse();
+        let a2 = intersection_area(&Polygon::from_ring(ring), &w);
+        assert!((a1 - 2.0).abs() < 1e-12);
+        assert!((a1 - a2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,159 @@
+//! Polygon layers: the zonal dataset handed to the pipeline.
+
+use crate::flat::FlatPolygons;
+use crate::mbr::Mbr;
+use crate::polygon::Polygon;
+use serde::{Deserialize, Serialize};
+
+/// A named collection of zone polygons (e.g. the US county layer).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PolygonLayer {
+    polys: Vec<Polygon>,
+    names: Vec<String>,
+}
+
+impl PolygonLayer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from polygons with generated zone names `zone-<i>`.
+    pub fn from_polygons(polys: Vec<Polygon>) -> Self {
+        let names = (0..polys.len()).map(|i| format!("zone-{i}")).collect();
+        PolygonLayer { polys, names }
+    }
+
+    /// Append a polygon with a name; returns its zone id.
+    pub fn push(&mut self, poly: Polygon, name: impl Into<String>) -> usize {
+        self.polys.push(poly);
+        self.names.push(name.into());
+        self.polys.len() - 1
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.polys.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.polys.is_empty()
+    }
+
+    #[inline]
+    pub fn polygons(&self) -> &[Polygon] {
+        &self.polys
+    }
+
+    #[inline]
+    pub fn polygon(&self, i: usize) -> &Polygon {
+        &self.polys[i]
+    }
+
+    #[inline]
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Polygon)> {
+        self.names.iter().map(String::as_str).zip(self.polys.iter())
+    }
+
+    /// MBR of the whole layer.
+    pub fn mbr(&self) -> Mbr {
+        self.polys.iter().fold(Mbr::EMPTY, |m, p| m.union(&p.mbr()))
+    }
+
+    /// Total vertex count over all polygons (the paper reports 87,097 for
+    /// the US county layer).
+    pub fn total_vertices(&self) -> usize {
+        self.polys.iter().map(Polygon::vertex_count).sum()
+    }
+
+    /// Number of polygons with more than one ring.
+    pub fn multi_ring_count(&self) -> usize {
+        self.polys.iter().filter(|p| p.rings().len() > 1).count()
+    }
+
+    /// Flatten to the GPU-style array representation.
+    pub fn to_flat(&self) -> FlatPolygons {
+        FlatPolygons::from_polygons(&self.polys)
+    }
+
+    /// Sum of polygon areas (degrees², under the parity rule).
+    pub fn total_area(&self) -> f64 {
+        self.polys.iter().map(Polygon::area).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+    use crate::ring::Ring;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut layer = PolygonLayer::new();
+        assert!(layer.is_empty());
+        let id = layer.push(Polygon::rect(0.0, 0.0, 1.0, 1.0), "alpha");
+        assert_eq!(id, 0);
+        let id2 = layer.push(Polygon::rect(2.0, 0.0, 3.0, 1.0), "beta");
+        assert_eq!(id2, 1);
+        assert_eq!(layer.len(), 2);
+        assert_eq!(layer.name(0), "alpha");
+        assert_eq!(layer.name(1), "beta");
+        assert!(layer.polygon(1).contains(Point::new(2.5, 0.5)));
+    }
+
+    #[test]
+    fn layer_mbr_and_vertices() {
+        let layer = PolygonLayer::from_polygons(vec![
+            Polygon::rect(0.0, 0.0, 1.0, 1.0),
+            Polygon::new(vec![Ring::rect(4.0, 4.0, 8.0, 8.0), Ring::rect(5.0, 5.0, 6.0, 6.0)]),
+        ]);
+        assert_eq!(layer.mbr(), Mbr::new(0.0, 0.0, 8.0, 8.0));
+        assert_eq!(layer.total_vertices(), 4 + 8);
+        assert_eq!(layer.multi_ring_count(), 1);
+        assert_eq!(layer.name(0), "zone-0");
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let mut layer = PolygonLayer::new();
+        layer.push(Polygon::rect(0.0, 0.0, 1.0, 1.0), "a");
+        layer.push(Polygon::rect(1.0, 0.0, 2.0, 1.0), "b");
+        let names: Vec<_> = layer.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn total_area_with_holes() {
+        let layer = PolygonLayer::from_polygons(vec![
+            Polygon::rect(0.0, 0.0, 2.0, 2.0),
+            Polygon::new(vec![Ring::rect(10.0, 0.0, 14.0, 4.0), Ring::rect(11.0, 1.0, 12.0, 2.0)]),
+        ]);
+        assert_eq!(layer.total_area(), 4.0 + (16.0 - 1.0));
+    }
+
+    #[test]
+    fn flatten_matches_object_model() {
+        let layer = PolygonLayer::from_polygons(vec![
+            Polygon::rect(1.0, 1.0, 3.0, 3.0),
+            Polygon::new(vec![Ring::rect(5.0, 5.0, 9.0, 9.0), Ring::rect(6.0, 6.0, 7.0, 7.0)]),
+        ]);
+        let flat = layer.to_flat();
+        assert_eq!(flat.len(), layer.len());
+        let probes = [
+            Point::new(2.0, 2.0),
+            Point::new(6.5, 6.5),
+            Point::new(8.0, 8.0),
+            Point::new(0.0, 0.5),
+        ];
+        for (k, poly) in layer.polygons().iter().enumerate() {
+            for &p in &probes {
+                assert_eq!(flat.contains(k, p), poly.contains(p));
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Minimum bounding rectangles (the paper's "MBB"s).
+//!
+//! Step 2 of the pipeline rasterizes polygon MBBs onto the tile grid; the
+//! operations here (union, intersection, containment, grid snapping) are the
+//! primitives that rasterization is built from.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned minimum bounding rectangle.
+///
+/// The empty MBR is represented with inverted bounds
+/// (`min > max`), which makes [`Mbr::union`] a monoid with
+/// [`Mbr::EMPTY`] as identity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mbr {
+    pub min_x: f64,
+    pub min_y: f64,
+    pub max_x: f64,
+    pub max_y: f64,
+}
+
+impl Mbr {
+    /// The empty rectangle: identity for [`Mbr::union`], intersects nothing.
+    pub const EMPTY: Mbr = Mbr {
+        min_x: f64::INFINITY,
+        min_y: f64::INFINITY,
+        max_x: f64::NEG_INFINITY,
+        max_y: f64::NEG_INFINITY,
+    };
+
+    #[inline]
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Mbr { min_x, min_y, max_x, max_y }
+    }
+
+    /// MBR of a single point.
+    #[inline]
+    pub fn of_point(p: Point) -> Self {
+        Mbr::new(p.x, p.y, p.x, p.y)
+    }
+
+    /// MBR of a point slice. Returns [`Mbr::EMPTY`] for an empty slice.
+    pub fn of_points(pts: &[Point]) -> Self {
+        pts.iter().fold(Mbr::EMPTY, |m, &p| m.expand(p))
+    }
+
+    /// True when no point is contained (inverted bounds).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x || self.min_y > self.max_y
+    }
+
+    /// Width (0 for empty).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max_x - self.min_x).max(0.0)
+    }
+
+    /// Height (0 for empty).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max_y - self.min_y).max(0.0)
+    }
+
+    /// Area (0 for empty).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point. Meaningless for the empty MBR.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.min_x + self.max_x) * 0.5, (self.min_y + self.max_y) * 0.5)
+    }
+
+    /// Smallest MBR containing both `self` and `other`.
+    #[inline]
+    pub fn union(&self, other: &Mbr) -> Mbr {
+        Mbr {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Smallest MBR containing `self` and the point `p`.
+    #[inline]
+    pub fn expand(&self, p: Point) -> Mbr {
+        Mbr {
+            min_x: self.min_x.min(p.x),
+            min_y: self.min_y.min(p.y),
+            max_x: self.max_x.max(p.x),
+            max_y: self.max_y.max(p.y),
+        }
+    }
+
+    /// Rectangle intersection; empty when disjoint.
+    #[inline]
+    pub fn intersection(&self, other: &Mbr) -> Mbr {
+        Mbr {
+            min_x: self.min_x.max(other.min_x),
+            min_y: self.min_y.max(other.min_y),
+            max_x: self.max_x.min(other.max_x),
+            max_y: self.max_y.min(other.max_y),
+        }
+    }
+
+    /// True when the closed rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Mbr) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// True when `p` lies in the closed rectangle.
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// True when `other` lies entirely within the closed rectangle.
+    #[inline]
+    pub fn contains(&self, other: &Mbr) -> bool {
+        !other.is_empty()
+            && other.min_x >= self.min_x
+            && other.max_x <= self.max_x
+            && other.min_y >= self.min_y
+            && other.max_y <= self.max_y
+    }
+
+    /// Grow the rectangle by `margin` on every side.
+    #[inline]
+    pub fn inflate(&self, margin: f64) -> Mbr {
+        Mbr {
+            min_x: self.min_x - margin,
+            min_y: self.min_y - margin,
+            max_x: self.max_x + margin,
+            max_y: self.max_y + margin,
+        }
+    }
+
+    /// The four corners in counter-clockwise order starting at (min, min).
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            Point::new(self.min_x, self.min_y),
+            Point::new(self.max_x, self.min_y),
+            Point::new(self.max_x, self.max_y),
+            Point::new(self.min_x, self.max_y),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_properties() {
+        let e = Mbr::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.width(), 0.0);
+        assert_eq!(e.height(), 0.0);
+        assert_eq!(e.area(), 0.0);
+        assert!(!e.contains_point(Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn union_identity_and_commutativity() {
+        let a = Mbr::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(Mbr::EMPTY.union(&a), a);
+        assert_eq!(a.union(&Mbr::EMPTY), a);
+        let b = Mbr::new(2.0, -1.0, 3.0, 0.5);
+        assert_eq!(a.union(&b), b.union(&a));
+        assert_eq!(a.union(&b), Mbr::new(0.0, -1.0, 3.0, 1.0));
+    }
+
+    #[test]
+    fn of_points_covers_all() {
+        let pts = [Point::new(1.0, 2.0), Point::new(-1.0, 5.0), Point::new(0.0, 0.0)];
+        let m = Mbr::of_points(&pts);
+        assert_eq!(m, Mbr::new(-1.0, 0.0, 1.0, 5.0));
+        for p in pts {
+            assert!(m.contains_point(p));
+        }
+        assert!(Mbr::of_points(&[]).is_empty());
+    }
+
+    #[test]
+    fn intersection_disjoint_is_empty() {
+        let a = Mbr::new(0.0, 0.0, 1.0, 1.0);
+        let b = Mbr::new(2.0, 2.0, 3.0, 3.0);
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_empty());
+    }
+
+    #[test]
+    fn intersection_overlap() {
+        let a = Mbr::new(0.0, 0.0, 2.0, 2.0);
+        let b = Mbr::new(1.0, 1.0, 3.0, 3.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b), Mbr::new(1.0, 1.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn touching_edges_intersect() {
+        let a = Mbr::new(0.0, 0.0, 1.0, 1.0);
+        let b = Mbr::new(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b), "closed rectangles sharing an edge intersect");
+        assert_eq!(a.intersection(&b).area(), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Mbr::new(0.0, 0.0, 10.0, 10.0);
+        let inner = Mbr::new(2.0, 2.0, 3.0, 3.0);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.contains(&outer), "contains is reflexive");
+        assert!(!outer.contains(&Mbr::EMPTY), "empty is never 'contained'");
+    }
+
+    #[test]
+    fn inflate_grows_every_side() {
+        let a = Mbr::new(0.0, 0.0, 1.0, 1.0).inflate(0.5);
+        assert_eq!(a, Mbr::new(-0.5, -0.5, 1.5, 1.5));
+    }
+
+    #[test]
+    fn corners_ccw() {
+        let m = Mbr::new(0.0, 0.0, 2.0, 1.0);
+        let c = m.corners();
+        assert_eq!(c[0], Point::new(0.0, 0.0));
+        assert_eq!(c[2], Point::new(2.0, 1.0));
+        // Shoelace over the corner loop is positive => CCW.
+        let mut s = 0.0;
+        for i in 0..4 {
+            let a = c[i];
+            let b = c[(i + 1) % 4];
+            s += a.x * b.y - b.x * a.y;
+        }
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn center_is_midpoint() {
+        let m = Mbr::new(0.0, 2.0, 4.0, 6.0);
+        assert_eq!(m.center(), Point::new(2.0, 4.0));
+    }
+}

@@ -1,0 +1,169 @@
+//! 2-D points in geographic (lon/lat degree) coordinates.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D point. `x` is longitude, `y` is latitude when the point lives in
+/// geographic coordinates, but nothing in this crate depends on that
+/// interpretation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist2(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(&self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+    }
+
+    /// True when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    #[inline]
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl std::ops::Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl std::ops::Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl std::ops::Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+/// Orientation of the ordered triple `(a, b, c)`.
+///
+/// Returns a positive value when the triple turns counter-clockwise, a
+/// negative value when it turns clockwise, and zero when collinear. This is
+/// the standard 2-D cross-product predicate used by the segment-intersection
+/// tests in [`crate::segment`].
+#[inline]
+pub fn orient2d(a: Point, b: Point, c: Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(b - a, Point::new(2.0, -3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist2(b), 25.0);
+        assert_eq!(a.dist(b), 5.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn orientation_signs() {
+        let o = Point::new(0.0, 0.0);
+        let e = Point::new(1.0, 0.0);
+        assert!(orient2d(o, e, Point::new(0.0, 1.0)) > 0.0, "ccw is positive");
+        assert!(orient2d(o, e, Point::new(0.0, -1.0)) < 0.0, "cw is negative");
+        assert_eq!(orient2d(o, e, Point::new(2.0, 0.0)), 0.0, "collinear is zero");
+    }
+
+    #[test]
+    fn min_max_componentwise() {
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(3.0, 2.0);
+        assert_eq!(a.min(b), Point::new(1.0, 2.0));
+        assert_eq!(a.max(b), Point::new(3.0, 5.0));
+    }
+
+    #[test]
+    fn tuple_conversions() {
+        let p: Point = (1.5, -2.5).into();
+        assert_eq!(p, Point::new(1.5, -2.5));
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.5, -2.5));
+    }
+
+    #[test]
+    fn finite_check() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,174 @@
+//! Multi-ring polygons.
+
+use crate::mbr::Mbr;
+use crate::pip::point_in_polygon;
+use crate::point::Point;
+use crate::ring::Ring;
+use serde::{Deserialize, Serialize};
+
+/// A polygon made of one or more rings.
+///
+/// The first ring is conventionally the outer shell; subsequent rings may be
+/// holes *or* additional disjoint parts (islands). Containment is defined by
+/// ray-crossing **parity over all rings**, exactly as the paper's multi-ring
+/// GPU kernel defines it (Fig. 5): a point inside an odd number of rings is
+/// inside the polygon. This uniform rule means holes and islands need no
+/// distinct tagging, which is what makes the flat `(0,0)`-separated vertex
+/// array representation of [`crate::flat`] possible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    rings: Vec<Ring>,
+    mbr: Mbr,
+}
+
+impl Polygon {
+    /// Build a polygon from rings. Panics when `rings` is empty.
+    pub fn new(rings: Vec<Ring>) -> Self {
+        assert!(!rings.is_empty(), "a polygon needs at least one ring");
+        let mbr = rings.iter().fold(Mbr::EMPTY, |m, r| m.union(&r.mbr()));
+        Polygon { rings, mbr }
+    }
+
+    /// Single-ring convenience constructor.
+    pub fn from_ring(ring: Ring) -> Self {
+        Polygon::new(vec![ring])
+    }
+
+    /// Axis-aligned rectangle polygon.
+    pub fn rect(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Polygon::from_ring(Ring::rect(min_x, min_y, max_x, max_y))
+    }
+
+    #[inline]
+    pub fn rings(&self) -> &[Ring] {
+        &self.rings
+    }
+
+    /// Precomputed minimum bounding rectangle over all rings.
+    #[inline]
+    pub fn mbr(&self) -> Mbr {
+        self.mbr
+    }
+
+    /// Total vertex count over all rings.
+    pub fn vertex_count(&self) -> usize {
+        self.rings.iter().map(Ring::len).sum()
+    }
+
+    /// Net area under the parity rule: sum of |ring area| for rings at even
+    /// depth minus rings at odd depth. For the common case of one outer ring
+    /// plus disjoint holes, this is `outer - sum(holes)`.
+    ///
+    /// The computation classifies each ring by testing a representative
+    /// vertex against the other rings, which is adequate for well-nested
+    /// inputs (the only kind our generators produce).
+    pub fn area(&self) -> f64 {
+        let mut total = 0.0;
+        for (i, ring) in self.rings.iter().enumerate() {
+            // Depth = number of *other* rings whose interior contains this
+            // ring's first vertex.
+            let probe = match ring.points().first() {
+                Some(&p) => p,
+                None => continue,
+            };
+            let depth = self
+                .rings
+                .iter()
+                .enumerate()
+                .filter(|(j, other)| *j != i && crate::pip::point_in_ring(probe, other))
+                .count();
+            if depth % 2 == 0 {
+                total += ring.area();
+            } else {
+                total -= ring.area();
+            }
+        }
+        total.max(0.0)
+    }
+
+    /// Parity-rule containment over all rings.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        if !self.mbr.contains_point(p) {
+            return false;
+        }
+        point_in_polygon(p, &self.rings)
+    }
+
+    /// All rings valid and at least one ring present.
+    pub fn is_valid(&self) -> bool {
+        !self.rings.is_empty() && self.rings.iter().all(Ring::is_valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_contains() {
+        let p = Polygon::rect(0.0, 0.0, 2.0, 2.0);
+        assert!(p.contains(Point::new(1.0, 1.0)));
+        assert!(!p.contains(Point::new(3.0, 1.0)));
+        assert!(!p.contains(Point::new(-0.1, 1.0)));
+        assert_eq!(p.vertex_count(), 4);
+    }
+
+    #[test]
+    fn mbr_precomputed() {
+        let p = Polygon::rect(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(p.mbr(), Mbr::new(1.0, 2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn polygon_with_hole() {
+        let outer = Ring::rect(0.0, 0.0, 10.0, 10.0);
+        let hole = Ring::rect(4.0, 4.0, 6.0, 6.0);
+        let p = Polygon::new(vec![outer, hole]);
+        assert!(p.contains(Point::new(1.0, 1.0)), "inside shell, outside hole");
+        assert!(!p.contains(Point::new(5.0, 5.0)), "inside the hole");
+        assert_eq!(p.area(), 100.0 - 4.0);
+    }
+
+    #[test]
+    fn multipart_islands() {
+        let a = Ring::rect(0.0, 0.0, 1.0, 1.0);
+        let b = Ring::rect(5.0, 5.0, 6.0, 6.0);
+        let p = Polygon::new(vec![a, b]);
+        assert!(p.contains(Point::new(0.5, 0.5)));
+        assert!(p.contains(Point::new(5.5, 5.5)));
+        assert!(!p.contains(Point::new(3.0, 3.0)), "between the parts");
+        assert_eq!(p.area(), 2.0);
+        assert_eq!(p.mbr(), Mbr::new(0.0, 0.0, 6.0, 6.0));
+    }
+
+    #[test]
+    fn nested_ring_parity() {
+        // Shell, hole, island-in-hole: classic three-level nesting.
+        let shell = Ring::rect(0.0, 0.0, 10.0, 10.0);
+        let hole = Ring::rect(2.0, 2.0, 8.0, 8.0);
+        let island = Ring::rect(4.0, 4.0, 6.0, 6.0);
+        let p = Polygon::new(vec![shell, hole, island]);
+        assert!(p.contains(Point::new(1.0, 1.0)), "in shell only");
+        assert!(!p.contains(Point::new(3.0, 3.0)), "in hole");
+        assert!(p.contains(Point::new(5.0, 5.0)), "in island");
+        assert_eq!(p.area(), 100.0 - 36.0 + 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ring")]
+    fn empty_polygon_panics() {
+        let _ = Polygon::new(vec![]);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(Polygon::rect(0.0, 0.0, 1.0, 1.0).is_valid());
+        let degenerate = Polygon::new(vec![Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        ])]);
+        assert!(!degenerate.is_valid());
+    }
+}

@@ -1,0 +1,241 @@
+//! A region quadtree over MBRs: an alternative spatial filter for Step 2.
+//!
+//! The paper's Step 2 uses the tile grid itself as an implicit grid-file
+//! index (rasterizing polygon MBBs). The same authors' companion work
+//! (its reference \[11\], "High-Performance Quadtree Constructions on
+//! Large-Scale Geospatial Rasters") builds quadtrees instead; this module
+//! provides that alternative so the pairing strategies can be compared:
+//! a classic MX-CIF-style quadtree where each item (a polygon id + MBR)
+//! lives at the deepest node whose quadrant fully contains it.
+//!
+//! Grid-file rasterization is O(candidate tiles) per polygon and ideal
+//! when, as in the paper, tiles already exist; the quadtree wins when the
+//! query side is sparse or the indexed MBRs are wildly non-uniform.
+
+use crate::mbr::Mbr;
+use serde::Serialize;
+
+/// Tree node: quadrant box plus the items pinned at this level (those
+/// straddling the quadrant's center lines) and optional children.
+#[derive(Debug, Clone, Serialize)]
+struct Node {
+    bounds: Mbr,
+    items: Vec<(u32, Mbr)>,
+    children: Option<Box<[Node; 4]>>,
+}
+
+impl Node {
+    fn new(bounds: Mbr) -> Node {
+        Node { bounds, items: Vec::new(), children: None }
+    }
+
+    fn quadrants(&self) -> [Mbr; 4] {
+        let c = self.bounds.center();
+        [
+            Mbr::new(self.bounds.min_x, self.bounds.min_y, c.x, c.y),
+            Mbr::new(c.x, self.bounds.min_y, self.bounds.max_x, c.y),
+            Mbr::new(self.bounds.min_x, c.y, c.x, self.bounds.max_y),
+            Mbr::new(c.x, c.y, self.bounds.max_x, self.bounds.max_y),
+        ]
+    }
+
+    fn insert(&mut self, id: u32, mbr: Mbr, depth_left: u32) {
+        if depth_left > 0 {
+            // Descend into the unique quadrant that fully contains the MBR,
+            // if any (MX-CIF rule).
+            let quads = self.quadrants();
+            for (qi, q) in quads.iter().enumerate() {
+                if q.contains(&mbr) {
+                    if self.children.is_none() {
+                        self.children = Some(Box::new([
+                            Node::new(quads[0]),
+                            Node::new(quads[1]),
+                            Node::new(quads[2]),
+                            Node::new(quads[3]),
+                        ]));
+                    }
+                    self.children.as_mut().expect("just created")[qi]
+                        .insert(id, mbr, depth_left - 1);
+                    return;
+                }
+            }
+        }
+        self.items.push((id, mbr));
+    }
+
+    fn query(&self, window: &Mbr, out: &mut Vec<u32>) {
+        if !self.bounds.intersects(window) {
+            return;
+        }
+        for &(id, ref mbr) in &self.items {
+            if mbr.intersects(window) {
+                out.push(id);
+            }
+        }
+        if let Some(children) = &self.children {
+            for child in children.iter() {
+                child.query(window, out);
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        1 + self
+            .children
+            .as_ref()
+            .map_or(0, |c| c.iter().map(Node::depth).max().expect("4 children"))
+    }
+
+    fn count(&self) -> usize {
+        self.items.len()
+            + self
+                .children
+                .as_ref()
+                .map_or(0, |c| c.iter().map(Node::count).sum())
+    }
+}
+
+/// An MX-CIF quadtree over `(id, MBR)` items.
+#[derive(Debug, Clone, Serialize)]
+pub struct MbrQuadtree {
+    root: Node,
+    max_depth: u32,
+}
+
+impl MbrQuadtree {
+    /// Build over `items`, subdividing at most `max_depth` levels below the
+    /// root. Items outside `extent` are pinned at the root (still queryable).
+    pub fn build(extent: Mbr, items: &[Mbr], max_depth: u32) -> Self {
+        assert!(!extent.is_empty(), "index extent must be non-empty");
+        let mut root = Node::new(extent);
+        for (id, &mbr) in items.iter().enumerate() {
+            if !mbr.is_empty() {
+                root.insert(id as u32, mbr, max_depth);
+            }
+        }
+        MbrQuadtree { root, max_depth }
+    }
+
+    /// Ids of all items whose MBR intersects `window` (unsorted, no
+    /// duplicates by construction — each item lives at exactly one node).
+    pub fn query(&self, window: &Mbr) -> Vec<u32> {
+        let mut out = Vec::new();
+        if !window.is_empty() {
+            self.root.query(window, &mut out);
+        }
+        out
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.root.count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Actual tree depth (≤ `max_depth` + 1).
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_mbrs(n: usize, size: f64) -> Vec<Mbr> {
+        // n×n small boxes spread over [0, 10]².
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let x = 10.0 * i as f64 / n as f64;
+                let y = 10.0 * j as f64 / n as f64;
+                out.push(Mbr::new(x, y, x + size, y + size));
+            }
+        }
+        out
+    }
+
+    fn brute(items: &[Mbr], w: &Mbr) -> Vec<u32> {
+        items
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.intersects(w))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let items = grid_mbrs(12, 0.6);
+        let qt = MbrQuadtree::build(Mbr::new(0.0, 0.0, 10.0, 10.0), &items, 6);
+        assert_eq!(qt.len(), items.len());
+        for (wx, wy, ww) in [(1.0, 1.0, 2.0), (0.0, 0.0, 10.0), (7.3, 2.1, 0.5), (9.9, 9.9, 3.0)] {
+            let w = Mbr::new(wx, wy, wx + ww, wy + ww);
+            let mut got = qt.query(&w);
+            got.sort_unstable();
+            assert_eq!(got, brute(&items, &w), "window {w:?}");
+        }
+    }
+
+    #[test]
+    fn each_item_found_exactly_once() {
+        let items = grid_mbrs(9, 1.5); // overlapping boxes straddle quadrant lines
+        let qt = MbrQuadtree::build(Mbr::new(0.0, 0.0, 10.0, 10.0), &items, 5);
+        let all = qt.query(&Mbr::new(-1.0, -1.0, 12.0, 12.0));
+        assert_eq!(all.len(), items.len(), "no duplicates, no misses");
+        let mut sorted = all;
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), items.len());
+    }
+
+    #[test]
+    fn empty_window_and_miss() {
+        let items = grid_mbrs(4, 0.5);
+        let qt = MbrQuadtree::build(Mbr::new(0.0, 0.0, 10.0, 10.0), &items, 4);
+        assert!(qt.query(&Mbr::EMPTY).is_empty());
+        assert!(qt.query(&Mbr::new(50.0, 50.0, 51.0, 51.0)).is_empty());
+    }
+
+    #[test]
+    fn items_outside_extent_pinned_at_root() {
+        let items = vec![Mbr::new(100.0, 100.0, 101.0, 101.0), Mbr::new(1.0, 1.0, 2.0, 2.0)];
+        let qt = MbrQuadtree::build(Mbr::new(0.0, 0.0, 10.0, 10.0), &items, 4);
+        assert_eq!(qt.len(), 2);
+        // Out-of-extent items are unreachable by in-extent windows but the
+        // index never loses them.
+        let got = qt.query(&Mbr::new(99.0, 99.0, 102.0, 102.0));
+        assert!(got.is_empty(), "window outside the root bounds finds nothing");
+    }
+
+    #[test]
+    fn depth_bounded() {
+        let items = grid_mbrs(16, 0.3);
+        let shallow = MbrQuadtree::build(Mbr::new(0.0, 0.0, 10.0, 10.0), &items, 2);
+        let deep = MbrQuadtree::build(Mbr::new(0.0, 0.0, 10.0, 10.0), &items, 8);
+        assert!(shallow.depth() <= 3);
+        assert!(deep.depth() > shallow.depth());
+        // Both still answer correctly.
+        let w = Mbr::new(3.0, 3.0, 4.0, 4.0);
+        let mut a = shallow.query(&w);
+        let mut b = deep.query(&w);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_items_skipped() {
+        let items = vec![Mbr::EMPTY, Mbr::new(1.0, 1.0, 2.0, 2.0)];
+        let qt = MbrQuadtree::build(Mbr::new(0.0, 0.0, 10.0, 10.0), &items, 4);
+        assert_eq!(qt.len(), 1);
+        assert_eq!(qt.query(&Mbr::new(0.0, 0.0, 5.0, 5.0)), vec![1]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Polygon rings: closed chains of vertices.
+
+use crate::mbr::Mbr;
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// A closed ring of vertices.
+///
+/// Vertices are stored **without** repeating the first vertex at the end;
+/// the closing edge `last -> first` is implicit. A valid ring has at least
+/// three vertices and nonzero area. Outer rings are conventionally
+/// counter-clockwise and holes clockwise, but the ray-crossing
+/// point-in-polygon test used throughout this crate is orientation-agnostic
+/// (it relies on crossing parity, as the paper's kernel does).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ring {
+    pts: Vec<Point>,
+}
+
+impl Ring {
+    /// Build a ring from vertices. A trailing vertex equal to the first is
+    /// dropped, so both closed and open encodings are accepted.
+    pub fn new(mut pts: Vec<Point>) -> Self {
+        if pts.len() >= 2 && pts.first() == pts.last() {
+            pts.pop();
+        }
+        Ring { pts }
+    }
+
+    /// An axis-aligned rectangle ring (counter-clockwise).
+    pub fn rect(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Ring::new(vec![
+            Point::new(min_x, min_y),
+            Point::new(max_x, min_y),
+            Point::new(max_x, max_y),
+            Point::new(min_x, max_y),
+        ])
+    }
+
+    /// A regular `n`-gon approximating a circle (counter-clockwise).
+    pub fn circle(center: Point, radius: f64, n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 vertices");
+        let pts = (0..n)
+            .map(|i| {
+                let t = 2.0 * std::f64::consts::PI * (i as f64) / (n as f64);
+                Point::new(center.x + radius * t.cos(), center.y + radius * t.sin())
+            })
+            .collect();
+        Ring { pts }
+    }
+
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.pts
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    /// Iterate the ring's edges, including the implicit closing edge.
+    pub fn edges(&self) -> impl Iterator<Item = (Point, Point)> + '_ {
+        let n = self.pts.len();
+        (0..n).map(move |i| (self.pts[i], self.pts[(i + 1) % n]))
+    }
+
+    /// Signed area by the shoelace formula: positive for counter-clockwise.
+    pub fn signed_area(&self) -> f64 {
+        let n = self.pts.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let mut s = 0.0;
+        for i in 0..n {
+            let a = self.pts[i];
+            let b = self.pts[(i + 1) % n];
+            s += a.x * b.y - b.x * a.y;
+        }
+        s * 0.5
+    }
+
+    /// Absolute area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// True when the vertex order is counter-clockwise.
+    #[inline]
+    pub fn is_ccw(&self) -> bool {
+        self.signed_area() > 0.0
+    }
+
+    /// Reverse the vertex order in place (flips orientation).
+    pub fn reverse(&mut self) {
+        self.pts.reverse();
+    }
+
+    /// Total edge length, including the closing edge.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|(a, b)| a.dist(b)).sum()
+    }
+
+    /// Minimum bounding rectangle.
+    pub fn mbr(&self) -> Mbr {
+        Mbr::of_points(&self.pts)
+    }
+
+    /// Basic validity: at least 3 vertices, all finite, nonzero area.
+    pub fn is_valid(&self) -> bool {
+        self.pts.len() >= 3 && self.pts.iter().all(Point::is_finite) && self.area() > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_area_and_orientation() {
+        let r = Ring::rect(0.0, 0.0, 4.0, 3.0);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.signed_area(), 12.0);
+        assert!(r.is_ccw());
+        assert_eq!(r.perimeter(), 14.0);
+    }
+
+    #[test]
+    fn closed_input_is_deduplicated() {
+        let open = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ]);
+        let closed = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.0, 0.0),
+        ]);
+        assert_eq!(open, closed);
+        assert_eq!(closed.len(), 3);
+    }
+
+    #[test]
+    fn reverse_flips_sign() {
+        let mut r = Ring::rect(0.0, 0.0, 2.0, 2.0);
+        let a = r.signed_area();
+        r.reverse();
+        assert_eq!(r.signed_area(), -a);
+        assert!(!r.is_ccw());
+        assert_eq!(r.area(), a.abs());
+    }
+
+    #[test]
+    fn circle_area_converges() {
+        let r = Ring::circle(Point::new(0.0, 0.0), 1.0, 720);
+        let err = (r.area() - std::f64::consts::PI).abs();
+        assert!(err < 1e-3, "720-gon area should approximate pi, err={err}");
+        assert!(r.is_ccw());
+    }
+
+    #[test]
+    fn degenerate_rings_invalid() {
+        assert!(!Ring::new(vec![]).is_valid());
+        assert!(!Ring::new(vec![Point::new(0., 0.), Point::new(1., 1.)]).is_valid());
+        // Collinear => zero area.
+        let col = Ring::new(vec![Point::new(0., 0.), Point::new(1., 1.), Point::new(2., 2.)]);
+        assert!(!col.is_valid());
+        assert!(Ring::rect(0., 0., 1., 1.).is_valid());
+    }
+
+    #[test]
+    fn edges_include_closing_edge() {
+        let r = Ring::rect(0.0, 0.0, 1.0, 1.0);
+        let edges: Vec<_> = r.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges[3], (Point::new(0.0, 1.0), Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn mbr_of_circle() {
+        let r = Ring::circle(Point::new(1.0, 2.0), 0.5, 64);
+        let m = r.mbr();
+        assert!((m.min_x - 0.5).abs() < 1e-2);
+        assert!((m.max_y - 2.5).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Segment predicates used by tile-in-polygon classification (Step 2).
+//!
+//! These are classic orientation-based tests. The pipeline only uses them in
+//! the spatial-filtering phase, where a conservative answer is acceptable:
+//! misclassifying an `Inside` tile as `Intersect` merely costs extra
+//! cell-in-polygon work in Step 4; correctness of the histogram is unaffected.
+//! Misclassifying in the other direction would be a correctness bug, so the
+//! tests here treat touching/collinear cases as intersecting.
+
+use crate::mbr::Mbr;
+use crate::point::{orient2d, Point};
+
+/// True when point `p` lies on the closed segment `a`–`b`.
+#[inline]
+pub fn point_on_segment(p: Point, a: Point, b: Point) -> bool {
+    if orient2d(a, b, p) != 0.0 {
+        return false;
+    }
+    p.x >= a.x.min(b.x) && p.x <= a.x.max(b.x) && p.y >= a.y.min(b.y) && p.y <= a.y.max(b.y)
+}
+
+/// True when closed segments `a`–`b` and `c`–`d` share at least one point.
+///
+/// Handles all degenerate cases (shared endpoints, collinear overlap,
+/// zero-length segments).
+pub fn segments_intersect(a: Point, b: Point, c: Point, d: Point) -> bool {
+    let d1 = orient2d(c, d, a);
+    let d2 = orient2d(c, d, b);
+    let d3 = orient2d(a, b, c);
+    let d4 = orient2d(a, b, d);
+
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    (d1 == 0.0 && point_on_segment(a, c, d))
+        || (d2 == 0.0 && point_on_segment(b, c, d))
+        || (d3 == 0.0 && point_on_segment(c, a, b))
+        || (d4 == 0.0 && point_on_segment(d, a, b))
+}
+
+/// True when the closed segment `a`–`b` shares at least one point with the
+/// closed rectangle `m`.
+///
+/// Used when rasterized MBB tiles are refined against actual polygon edges:
+/// a tile whose box is crossed by any edge is an `Intersect` tile.
+pub fn segment_intersects_box(a: Point, b: Point, m: &Mbr) -> bool {
+    if m.is_empty() {
+        return false;
+    }
+    // Quick accept: an endpoint inside the box.
+    if m.contains_point(a) || m.contains_point(b) {
+        return true;
+    }
+    // Quick reject: segment bbox disjoint from the box.
+    let seg_box = Mbr::of_points(&[a, b]);
+    if !m.intersects(&seg_box) {
+        return false;
+    }
+    // Otherwise the segment intersects the box iff it crosses one of the four
+    // box edges (both endpoints are outside, so pure containment is ruled out).
+    let c = m.corners();
+    for i in 0..4 {
+        if segments_intersect(a, b, c[i], c[(i + 1) % 4]) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn proper_crossing() {
+        assert!(segments_intersect(p(0., 0.), p(2., 2.), p(0., 2.), p(2., 0.)));
+    }
+
+    #[test]
+    fn disjoint_parallel() {
+        assert!(!segments_intersect(p(0., 0.), p(1., 0.), p(0., 1.), p(1., 1.)));
+    }
+
+    #[test]
+    fn shared_endpoint_counts() {
+        assert!(segments_intersect(p(0., 0.), p(1., 1.), p(1., 1.), p(2., 0.)));
+    }
+
+    #[test]
+    fn t_junction_counts() {
+        assert!(segments_intersect(p(0., 0.), p(2., 0.), p(1., 0.), p(1., 1.)));
+    }
+
+    #[test]
+    fn collinear_overlapping() {
+        assert!(segments_intersect(p(0., 0.), p(2., 0.), p(1., 0.), p(3., 0.)));
+    }
+
+    #[test]
+    fn collinear_disjoint() {
+        assert!(!segments_intersect(p(0., 0.), p(1., 0.), p(2., 0.), p(3., 0.)));
+    }
+
+    #[test]
+    fn zero_length_on_segment() {
+        assert!(segments_intersect(p(1., 0.), p(1., 0.), p(0., 0.), p(2., 0.)));
+        assert!(!segments_intersect(p(1., 1.), p(1., 1.), p(0., 0.), p(2., 0.)));
+    }
+
+    #[test]
+    fn point_on_segment_cases() {
+        assert!(point_on_segment(p(1., 1.), p(0., 0.), p(2., 2.)));
+        assert!(point_on_segment(p(0., 0.), p(0., 0.), p(2., 2.)), "endpoint is on");
+        assert!(!point_on_segment(p(3., 3.), p(0., 0.), p(2., 2.)), "beyond the end");
+        assert!(!point_on_segment(p(1., 0.), p(0., 0.), p(2., 2.)), "off the line");
+    }
+
+    #[test]
+    fn segment_box_endpoint_inside() {
+        let m = Mbr::new(0., 0., 1., 1.);
+        assert!(segment_intersects_box(p(0.5, 0.5), p(5., 5.), &m));
+    }
+
+    #[test]
+    fn segment_box_pass_through() {
+        let m = Mbr::new(0., 0., 1., 1.);
+        assert!(segment_intersects_box(p(-1., 0.5), p(2., 0.5), &m));
+    }
+
+    #[test]
+    fn segment_box_miss() {
+        let m = Mbr::new(0., 0., 1., 1.);
+        assert!(!segment_intersects_box(p(-1., 2.), p(2., 2.), &m));
+        // Diagonal near-miss past the (1,1) corner: line x + y = 2.5.
+        assert!(!segment_intersects_box(p(2.5, 0.0), p(0.0, 2.5), &m));
+    }
+
+    #[test]
+    fn segment_box_touch_corner() {
+        let m = Mbr::new(0., 0., 1., 1.);
+        assert!(segment_intersects_box(p(1.0, 1.0), p(2.0, 2.0), &m), "corner touch counts");
+        assert!(segment_intersects_box(p(2.0, 0.0), p(0.0, 2.0), &m), "grazes the (1,1) corner");
+    }
+
+    #[test]
+    fn segment_box_empty_box() {
+        assert!(!segment_intersects_box(p(0., 0.), p(1., 1.), &Mbr::EMPTY));
+    }
+}

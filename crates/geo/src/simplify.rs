@@ -1,0 +1,233 @@
+//! Polygon simplification (Douglas–Peucker).
+//!
+//! Step 4's cost is `boundary cells × polygon edges`, so vertex count is a
+//! direct performance lever: the paper's county layer averages ~28 vertices
+//! per polygon, but real coastal counties run to thousands. Simplification
+//! trades histogram exactness near boundaries for Step 4 time; the
+//! `ablate_simplify` bench and `tables` harness quantify that tradeoff.
+//!
+//! The implementation is the classic recursive Douglas–Peucker on each
+//! ring, with the ring closed at its first vertex and a guarantee that at
+//! least a triangle survives (degenerate outputs would break the PIP
+//! kernels).
+
+use crate::point::{orient2d, Point};
+use crate::polygon::Polygon;
+use crate::ring::Ring;
+
+/// Squared perpendicular distance from `p` to the segment `a`–`b`.
+fn seg_dist2(p: Point, a: Point, b: Point) -> f64 {
+    let l2 = a.dist2(b);
+    if l2 == 0.0 {
+        return p.dist2(a);
+    }
+    let t = (((p.x - a.x) * (b.x - a.x) + (p.y - a.y) * (b.y - a.y)) / l2).clamp(0.0, 1.0);
+    p.dist2(a.lerp(b, t))
+}
+
+fn dp_recurse(pts: &[Point], eps2: f64, keep: &mut [bool], lo: usize, hi: usize) {
+    if hi <= lo + 1 {
+        return;
+    }
+    let (mut max_d, mut max_i) = (0.0f64, lo);
+    for i in lo + 1..hi {
+        let d = seg_dist2(pts[i], pts[lo], pts[hi]);
+        if d > max_d {
+            max_d = d;
+            max_i = i;
+        }
+    }
+    if max_d > eps2 {
+        keep[max_i] = true;
+        dp_recurse(pts, eps2, keep, lo, max_i);
+        dp_recurse(pts, eps2, keep, max_i, hi);
+    }
+}
+
+/// Douglas–Peucker on an open polyline: keeps endpoints, drops interior
+/// vertices within `epsilon` of the simplified chain.
+pub fn simplify_polyline(pts: &[Point], epsilon: f64) -> Vec<Point> {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    if pts.len() <= 2 {
+        return pts.to_vec();
+    }
+    let mut keep = vec![false; pts.len()];
+    keep[0] = true;
+    *keep.last_mut().expect("nonempty") = true;
+    dp_recurse(pts, epsilon * epsilon, &mut keep, 0, pts.len() - 1);
+    pts.iter()
+        .zip(&keep)
+        .filter(|&(_, &k)| k)
+        .map(|(&p, _)| p)
+        .collect()
+}
+
+/// Simplify a ring. The ring is cut at vertex 0 (and at its antipode, to
+/// avoid collapsing a closed shape onto a single chord), each arc
+/// simplified, and the result re-closed. Returns a ring with at least 3
+/// vertices and nonzero area, falling back to the original when
+/// simplification would degenerate it.
+pub fn simplify_ring(ring: &Ring, epsilon: f64) -> Ring {
+    let pts = ring.points();
+    let n = pts.len();
+    if n <= 4 {
+        return ring.clone();
+    }
+    let mid = n / 2;
+    // Two open arcs: 0..=mid and mid..=0(wrapped).
+    let arc1 = simplify_polyline(&pts[..=mid], epsilon);
+    let mut second: Vec<Point> = pts[mid..].to_vec();
+    second.push(pts[0]);
+    let arc2 = simplify_polyline(&second, epsilon);
+    // Join, dropping duplicated cut points.
+    let mut out = arc1;
+    out.extend_from_slice(&arc2[1..arc2.len() - 1]);
+    let simplified = Ring::new(out);
+    if simplified.len() >= 3 && simplified.area() > 0.0 {
+        simplified
+    } else {
+        ring.clone()
+    }
+}
+
+/// Simplify every ring of a polygon. Rings that would degenerate are kept
+/// as-is (never dropped: parity depends on ring count).
+pub fn simplify_polygon(poly: &Polygon, epsilon: f64) -> Polygon {
+    Polygon::new(poly.rings().iter().map(|r| simplify_ring(r, epsilon)).collect())
+}
+
+/// Area-difference ratio between a polygon and its simplification:
+/// `|A − A'| / A`. A cheap proxy for histogram error near boundaries.
+pub fn area_error(original: &Polygon, simplified: &Polygon) -> f64 {
+    let a = original.area();
+    if a == 0.0 {
+        return 0.0;
+    }
+    (a - simplified.area()).abs() / a
+}
+
+/// True when the ring is convex (all turns the same way, ignoring
+/// collinear triples). Simplification preserves convexity; used in tests.
+pub fn is_convex(ring: &Ring) -> bool {
+    let pts = ring.points();
+    let n = pts.len();
+    if n < 4 {
+        return true;
+    }
+    let mut sign = 0.0f64;
+    for i in 0..n {
+        let o = orient2d(pts[i], pts[(i + 1) % n], pts[(i + 2) % n]);
+        if o != 0.0 {
+            if sign != 0.0 && o.signum() != sign {
+                return false;
+            }
+            sign = o.signum();
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polyline_drops_collinear_points() {
+        let pts: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 0.0)).collect();
+        let s = simplify_polyline(&pts, 0.01);
+        assert_eq!(s, vec![Point::new(0.0, 0.0), Point::new(9.0, 0.0)]);
+    }
+
+    #[test]
+    fn polyline_keeps_significant_corner() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.1),
+            Point::new(5.0, 5.0),
+            Point::new(10.0, 5.0),
+        ];
+        let s = simplify_polyline(&pts, 0.5);
+        assert!(s.contains(&Point::new(5.0, 5.0)), "the real corner survives");
+        assert_eq!(s.first(), pts.first().as_deref());
+        assert_eq!(s.last(), pts.last().as_deref());
+    }
+
+    #[test]
+    fn zero_epsilon_keeps_non_collinear_everything() {
+        let ring = Ring::circle(Point::new(0.0, 0.0), 1.0, 16);
+        let s = simplify_ring(&ring, 0.0);
+        assert_eq!(s.len(), ring.len());
+    }
+
+    #[test]
+    fn circle_simplifies_progressively() {
+        let ring = Ring::circle(Point::new(0.0, 0.0), 1.0, 256);
+        let coarse = simplify_ring(&ring, 0.05);
+        let fine = simplify_ring(&ring, 0.001);
+        assert!(coarse.len() < fine.len());
+        assert!(fine.len() < ring.len());
+        assert!(coarse.len() >= 3);
+        // Area error bounded by epsilon-ish band.
+        let err = (ring.area() - coarse.area()).abs() / ring.area();
+        assert!(err < 0.1, "coarse area error {err}");
+    }
+
+    #[test]
+    fn rectangle_is_a_fixed_point() {
+        let ring = Ring::rect(0.0, 0.0, 4.0, 3.0);
+        assert_eq!(simplify_ring(&ring, 0.5), ring, "≤4 vertices returned verbatim");
+    }
+
+    #[test]
+    fn polygon_rings_preserved_in_count() {
+        let poly = Polygon::new(vec![
+            Ring::circle(Point::new(0.0, 0.0), 3.0, 64),
+            Ring::circle(Point::new(0.0, 0.0), 1.0, 32),
+        ]);
+        let s = simplify_polygon(&poly, 0.02);
+        assert_eq!(s.rings().len(), 2, "holes must never be dropped");
+        assert!(s.vertex_count() < poly.vertex_count());
+        assert!(s.is_valid());
+    }
+
+    #[test]
+    fn area_error_metric() {
+        let poly = Polygon::from_ring(Ring::circle(Point::new(0.0, 0.0), 1.0, 128));
+        let s = simplify_polygon(&poly, 0.05);
+        let err = area_error(&poly, &s);
+        assert!(err > 0.0, "lossy simplification changes area");
+        assert!(err < 0.15, "but not wildly: {err}");
+        assert_eq!(area_error(&poly, &poly), 0.0);
+    }
+
+    #[test]
+    fn convexity_preserved_for_convex_input() {
+        let ring = Ring::circle(Point::new(0.0, 0.0), 2.0, 100);
+        assert!(is_convex(&ring));
+        let s = simplify_ring(&ring, 0.1);
+        assert!(is_convex(&s), "DP keeps a convex hull subset convex");
+    }
+
+    #[test]
+    fn concave_detected() {
+        let c = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(2.0, 1.0), // dent
+            Point::new(0.0, 4.0),
+        ]);
+        assert!(!is_convex(&c));
+    }
+
+    #[test]
+    fn epsilon_monotonicity() {
+        let ring = Ring::circle(Point::new(5.0, 5.0), 2.0, 200);
+        let mut prev = usize::MAX;
+        for eps in [0.001, 0.01, 0.05, 0.2] {
+            let n = simplify_ring(&ring, eps).len();
+            assert!(n <= prev, "vertex count must not grow with epsilon");
+            prev = n;
+        }
+    }
+}

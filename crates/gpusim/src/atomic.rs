@@ -1,0 +1,117 @@
+//! Device-buffer analogues with atomic update semantics.
+//!
+//! The paper's kernels update shared histograms with `atomicAdd`. These
+//! buffers give the Rust kernels the same tool: any number of threads may
+//! `add` concurrently; the buffer converts back into a plain vector once the
+//! kernel completes (the device-to-host copy).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+macro_rules! atomic_buf {
+    ($name:ident, $atomic:ty, $prim:ty) => {
+        /// A fixed-size buffer of atomic counters.
+        #[derive(Debug)]
+        pub struct $name {
+            data: Vec<$atomic>,
+        }
+
+        impl $name {
+            /// Zero-initialized buffer of `len` counters.
+            pub fn new(len: usize) -> Self {
+                let mut data = Vec::with_capacity(len);
+                data.resize_with(len, || <$atomic>::new(0));
+                Self { data }
+            }
+
+            /// Buffer initialized from existing values.
+            pub fn from_vec(v: Vec<$prim>) -> Self {
+                Self { data: v.into_iter().map(<$atomic>::new).collect() }
+            }
+
+            #[inline]
+            pub fn len(&self) -> usize {
+                self.data.len()
+            }
+
+            #[inline]
+            pub fn is_empty(&self) -> bool {
+                self.data.is_empty()
+            }
+
+            /// `atomicAdd(&buf[i], v)`.
+            #[inline]
+            pub fn add(&self, i: usize, v: $prim) {
+                self.data[i].fetch_add(v, Ordering::Relaxed);
+            }
+
+            /// Relaxed load of `buf[i]`.
+            #[inline]
+            pub fn load(&self, i: usize) -> $prim {
+                self.data[i].load(Ordering::Relaxed)
+            }
+
+            /// Non-atomic store; only safe logic-wise between kernel phases.
+            #[inline]
+            pub fn store(&self, i: usize, v: $prim) {
+                self.data[i].store(v, Ordering::Relaxed);
+            }
+
+            /// Consume into a plain vector (the device→host copy).
+            pub fn into_vec(self) -> Vec<$prim> {
+                self.data.into_iter().map(|a| a.into_inner()).collect()
+            }
+
+            /// Snapshot without consuming.
+            pub fn to_vec(&self) -> Vec<$prim> {
+                self.data.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+            }
+        }
+    };
+}
+
+atomic_buf!(AtomicBufU32, AtomicU32, u32);
+atomic_buf!(AtomicBufU64, AtomicU64, u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn concurrent_adds_are_lossless() {
+        let buf = AtomicBufU32::new(16);
+        (0..10_000usize).into_par_iter().for_each(|i| {
+            buf.add(i % 16, 1);
+        });
+        let v = buf.into_vec();
+        assert_eq!(v.iter().map(|&x| x as usize).sum::<usize>(), 10_000);
+        for &x in &v {
+            assert_eq!(x, 625);
+        }
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let buf = AtomicBufU64::from_vec(vec![5, 10, 15]);
+        buf.add(1, 7);
+        assert_eq!(buf.load(1), 17);
+        assert_eq!(buf.into_vec(), vec![5, 17, 15]);
+    }
+
+    #[test]
+    fn to_vec_snapshots() {
+        let buf = AtomicBufU32::new(3);
+        buf.add(2, 9);
+        assert_eq!(buf.to_vec(), vec![0, 0, 9]);
+        buf.add(2, 1);
+        assert_eq!(buf.to_vec(), vec![0, 0, 10]);
+    }
+
+    #[test]
+    fn store_overwrites() {
+        let buf = AtomicBufU32::new(2);
+        buf.add(0, 3);
+        buf.store(0, 100);
+        assert_eq!(buf.load(0), 100);
+    }
+}

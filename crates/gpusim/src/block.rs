@@ -1,0 +1,158 @@
+//! Barrier-faithful thread-block emulation.
+//!
+//! [`SimtBlock`] runs a block's threads as real OS threads with a real
+//! barrier, so `__syncthreads()` placement bugs (missing or divergent
+//! barriers) surface as actual interleavings. It is deliberately slow and
+//! used only by tests that validate the three paper kernels' barrier and
+//! atomic structure; production launches use [`crate::exec`].
+
+use std::sync::Barrier;
+
+/// Per-thread execution context inside an emulated block.
+pub struct ThreadCtx<'a> {
+    /// `threadIdx.x`.
+    pub tid: usize,
+    /// `blockDim.x`.
+    pub block_dim: usize,
+    barrier: &'a Barrier,
+}
+
+impl ThreadCtx<'_> {
+    /// `__syncthreads()`: every thread of the block must call this the same
+    /// number of times (a divergent barrier deadlocks, exactly as on a GPU —
+    /// tests run under a watchdog for that reason).
+    pub fn sync(&self) {
+        self.barrier.wait();
+    }
+
+    /// Indices this thread handles in a blockDim-strided loop over `n`
+    /// items.
+    pub fn strided(&self, n: usize) -> impl Iterator<Item = usize> {
+        crate::exec::strided(self.tid, self.block_dim, n)
+    }
+}
+
+/// An emulated thread block of `block_dim` threads.
+pub struct SimtBlock {
+    block_dim: usize,
+}
+
+impl SimtBlock {
+    pub fn new(block_dim: usize) -> Self {
+        assert!(block_dim > 0, "a block needs at least one thread");
+        SimtBlock { block_dim }
+    }
+
+    /// Run `body(ctx)` once per thread, all threads concurrently, sharing
+    /// whatever `Sync` state `body` captures.
+    pub fn run<F>(&self, body: F)
+    where
+        F: Fn(ThreadCtx<'_>) + Sync,
+    {
+        let barrier = Barrier::new(self.block_dim);
+        std::thread::scope(|scope| {
+            for tid in 0..self.block_dim {
+                let barrier = &barrier;
+                let body = &body;
+                scope.spawn(move || {
+                    body(ThreadCtx { tid, block_dim: self.block_dim, barrier });
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::AtomicBufU32;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_threads_run() {
+        let count = AtomicUsize::new(0);
+        SimtBlock::new(32).run(|ctx| {
+            assert!(ctx.tid < 32);
+            assert_eq!(ctx.block_dim, 32);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        // Phase 1 writes; after sync, phase 2 must observe all writes — the
+        // exact pattern of the paper's Fig. 2 kernel (zero bins, sync,
+        // accumulate).
+        let n = 64usize;
+        let buf = AtomicBufU32::new(n);
+        let errors = AtomicUsize::new(0);
+        SimtBlock::new(16).run(|ctx| {
+            for i in ctx.strided(n) {
+                buf.store(i, 7);
+            }
+            ctx.sync();
+            for i in ctx.strided(n) {
+                if buf.load(i) != 7 {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        assert_eq!(errors.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn histogram_kernel_shape() {
+        // Miniature of the paper's Fig. 2 CellAggrKernel: zero bins, sync,
+        // atomically count values.
+        let hist_size = 16usize;
+        let values: Vec<u16> = (0..1000).map(|i| (i % hist_size) as u16).collect();
+        let hist = AtomicBufU32::from_vec(vec![u32::MAX; hist_size]); // dirty
+        SimtBlock::new(8).run(|ctx| {
+            for k in ctx.strided(hist_size) {
+                hist.store(k, 0);
+            }
+            ctx.sync();
+            for i in ctx.strided(values.len()) {
+                hist.add(values[i] as usize, 1);
+            }
+        });
+        let h = hist.into_vec();
+        assert_eq!(h.iter().sum::<u32>(), 1000);
+        for (bin, &count) in h.iter().enumerate() {
+            let expected = values.iter().filter(|&&v| v as usize == bin).count() as u32;
+            assert_eq!(count, expected, "bin {bin}");
+        }
+    }
+
+    #[test]
+    fn single_thread_block() {
+        let total = AtomicUsize::new(0);
+        SimtBlock::new(1).run(|ctx| {
+            for i in ctx.strided(10) {
+                total.fetch_add(i, Ordering::Relaxed);
+            }
+            ctx.sync();
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn repeated_barriers() {
+        let buf = AtomicBufU32::new(1);
+        let violations = AtomicUsize::new(0);
+        SimtBlock::new(4).run(|ctx| {
+            for round in 0..10u32 {
+                if ctx.tid == 0 {
+                    buf.store(0, round);
+                }
+                ctx.sync();
+                if buf.load(0) != round {
+                    violations.fetch_add(1, Ordering::Relaxed);
+                }
+                ctx.sync();
+            }
+        });
+        assert_eq!(violations.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Work counting and the analytic device cost model.
+//!
+//! Kernels executed by this crate count the work they do — bytes streamed
+//! coalesced, bytes touched scattered, arithmetic operations, global
+//! atomics — in a [`WorkCounter`]. A [`CostModel`] then prices a
+//! [`KernelWork`] snapshot on a [`DeviceSpec`]:
+//!
+//! ```text
+//! t = launches · t_launch
+//!   + max( flops / (peak_flops · eff(arch, class)),
+//!          (coalesced + scattered · penalty) / bandwidth )
+//!   + atomics / atomic_throughput
+//! ```
+//!
+//! The overlap `max(compute, memory)` models a GPU's ability to hide memory
+//! latency under arithmetic (and vice versa); atomics serialize and are
+//! added. Per-class efficiencies are the only calibrated constants (see
+//! EXPERIMENTS.md §calibration); everything else is counted or published.
+
+use crate::device::{Arch, DeviceSpec};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Kernel classes with distinct achievable-utilization profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelClass {
+    /// Step 0: BQ-Tree decode — bit twiddling with branchy trees.
+    Decode,
+    /// Step 1: per-tile histogramming — streaming reads + atomics.
+    Histogram,
+    /// Step 3: histogram aggregation — pure coalesced streaming.
+    Aggregate,
+    /// Step 4: cell-in-polygon tests — deeply divergent inner loops.
+    PipTest,
+    /// Anything else (primitives, utility kernels).
+    Generic,
+}
+
+/// Fraction of peak arithmetic throughput a kernel class achieves.
+///
+/// Calibrated once against the paper's Table 2 at full scale and then held
+/// fixed for every experiment, scale, and ablation. Note the inversion on
+/// `PipTest`: Fermi's fatter cores run divergent code at higher utilization
+/// than Kepler's — exactly why the paper's Step 4 speedup (2.6×) is far
+/// below the 6× core-count ratio.
+pub fn compute_efficiency(arch: Arch, class: KernelClass) -> f64 {
+    match (arch, class) {
+        (Arch::Fermi, KernelClass::Decode) => 0.070,
+        (Arch::Kepler, KernelClass::Decode) => 0.032,
+        (Arch::Fermi, KernelClass::Histogram) => 0.50,
+        (Arch::Kepler, KernelClass::Histogram) => 0.50,
+        (Arch::Fermi, KernelClass::Aggregate) => 0.50,
+        (Arch::Kepler, KernelClass::Aggregate) => 0.50,
+        (Arch::Fermi, KernelClass::PipTest) => 0.17,
+        (Arch::Kepler, KernelClass::PipTest) => 0.10,
+        (Arch::Fermi, KernelClass::Generic) => 0.25,
+        (Arch::Kepler, KernelClass::Generic) => 0.25,
+    }
+}
+
+/// An immutable snapshot of counted kernel work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelWork {
+    /// Arithmetic operations.
+    pub flops: u64,
+    /// Bytes moved through global memory with coalesced access.
+    pub coalesced_bytes: u64,
+    /// Bytes touched with scattered (uncoalesced) access, before the
+    /// architecture penalty.
+    pub scattered_bytes: u64,
+    /// Global atomic read-modify-write operations.
+    pub atomics: u64,
+    /// Kernel launches.
+    pub launches: u64,
+}
+
+impl KernelWork {
+    pub fn is_empty(&self) -> bool {
+        *self == KernelWork::default()
+    }
+
+    /// Sum two workloads.
+    pub fn merge(&self, other: &KernelWork) -> KernelWork {
+        KernelWork {
+            flops: self.flops + other.flops,
+            coalesced_bytes: self.coalesced_bytes + other.coalesced_bytes,
+            scattered_bytes: self.scattered_bytes + other.scattered_bytes,
+            atomics: self.atomics + other.atomics,
+            launches: self.launches + other.launches,
+        }
+    }
+
+    /// Scale the data-proportional terms by `factor`, keeping launches.
+    /// Used to extrapolate small-scale measured counts to the paper's full
+    /// 20.1-billion-cell workload (all four scaled terms are exactly linear
+    /// in cell count for per-cell kernels).
+    pub fn scale(&self, factor: f64) -> KernelWork {
+        let s = |v: u64| (v as f64 * factor).round() as u64;
+        KernelWork {
+            flops: s(self.flops),
+            coalesced_bytes: s(self.coalesced_bytes),
+            scattered_bytes: s(self.scattered_bytes),
+            atomics: s(self.atomics),
+            launches: self.launches,
+        }
+    }
+}
+
+/// Thread-safe accumulation of [`KernelWork`] from inside parallel kernels.
+#[derive(Debug, Default)]
+pub struct WorkCounter {
+    flops: AtomicU64,
+    coalesced_bytes: AtomicU64,
+    scattered_bytes: AtomicU64,
+    atomics: AtomicU64,
+    launches: AtomicU64,
+}
+
+impl WorkCounter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn add_flops(&self, n: u64) {
+        self.flops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_coalesced(&self, bytes: u64) {
+        self.coalesced_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_scattered(&self, bytes: u64) {
+        self.scattered_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_atomics(&self, n: u64) {
+        self.atomics.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_launch(&self) {
+        self.launches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> KernelWork {
+        KernelWork {
+            flops: self.flops.load(Ordering::Relaxed),
+            coalesced_bytes: self.coalesced_bytes.load(Ordering::Relaxed),
+            scattered_bytes: self.scattered_bytes.load(Ordering::Relaxed),
+            atomics: self.atomics.load(Ordering::Relaxed),
+            launches: self.launches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Prices counted work on a device.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    pub device: DeviceSpec,
+}
+
+impl CostModel {
+    pub fn new(device: DeviceSpec) -> Self {
+        CostModel { device }
+    }
+
+    /// Simulated seconds for `work` executed as kernels of `class`.
+    pub fn kernel_secs(&self, class: KernelClass, work: &KernelWork) -> f64 {
+        let d = &self.device;
+        let compute = work.flops as f64 / (d.peak_flops() * compute_efficiency(d.arch, class));
+        let bytes = work.coalesced_bytes as f64 + work.scattered_bytes as f64 * d.scatter_penalty();
+        let memory = bytes / (d.mem_bw_gbps * 1e9);
+        let atomics = work.atomics as f64 / (d.atomic_gops * 1e9);
+        let launch = work.launches as f64 * d.launch_overhead_us * 1e-6;
+        launch + compute.max(memory) + atomics
+    }
+
+    /// Simulated seconds to move `bytes` over PCIe (one direction).
+    pub fn transfer_secs(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.device.pcie_gbps * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gtx() -> CostModel {
+        CostModel::new(DeviceSpec::gtx_titan())
+    }
+
+    fn quadro() -> CostModel {
+        CostModel::new(DeviceSpec::quadro_6000())
+    }
+
+    #[test]
+    fn empty_work_costs_nothing() {
+        assert_eq!(gtx().kernel_secs(KernelClass::Generic, &KernelWork::default()), 0.0);
+    }
+
+    #[test]
+    fn compute_and_memory_overlap() {
+        // A kernel with both compute and memory pays only the max of the two.
+        let m = gtx();
+        let w_compute = KernelWork { flops: 10_u64.pow(12), ..Default::default() };
+        let w_memory = KernelWork { coalesced_bytes: 10_u64.pow(9), ..Default::default() };
+        let w_both = w_compute.merge(&w_memory);
+        let t_c = m.kernel_secs(KernelClass::Generic, &w_compute);
+        let t_m = m.kernel_secs(KernelClass::Generic, &w_memory);
+        let t_b = m.kernel_secs(KernelClass::Generic, &w_both);
+        assert!((t_b - t_c.max(t_m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atomics_serialize() {
+        let m = gtx();
+        let w = KernelWork { atomics: 1_850_000_000, ..Default::default() };
+        let t = m.kernel_secs(KernelClass::Histogram, &w);
+        assert!((t - 1.0).abs() < 1e-9, "1.85e9 atomics at 1.85 Gops/s = 1 s, got {t}");
+    }
+
+    #[test]
+    fn table2_step_ratios_hold() {
+        // The calibrated constants must reproduce the paper's Table 2
+        // Kepler-vs-Fermi ratios from identical work counts.
+        let cells: u64 = 1_000_000_000;
+        // Step 1: one atomic per cell, 2 bytes read per cell.
+        let s1 = KernelWork { atomics: cells, coalesced_bytes: cells * 2, flops: cells, ..Default::default() };
+        let r1 = quadro().kernel_secs(KernelClass::Histogram, &s1)
+            / gtx().kernel_secs(KernelClass::Histogram, &s1);
+        assert!((1.4..=1.9).contains(&r1), "Step 1 speedup should be ≈1.6x, got {r1:.2}");
+        // Step 4: ~10 flops per edge test, compute bound.
+        let s4 = KernelWork { flops: cells * 10, coalesced_bytes: cells / 10, ..Default::default() };
+        let r4 = quadro().kernel_secs(KernelClass::PipTest, &s4)
+            / gtx().kernel_secs(KernelClass::PipTest, &s4);
+        assert!((2.2..=3.1).contains(&r4), "Step 4 speedup should be ≈2.6x, got {r4:.2}");
+        // Step 0: decode, compute bound.
+        let s0 = KernelWork { flops: cells * 32, coalesced_bytes: cells * 2, ..Default::default() };
+        let r0 = quadro().kernel_secs(KernelClass::Decode, &s0)
+            / gtx().kernel_secs(KernelClass::Decode, &s0);
+        assert!((1.6..=2.4).contains(&r0), "Step 0 speedup should be ≈2x, got {r0:.2}");
+    }
+
+    #[test]
+    fn transfer_matches_paper_assumption() {
+        // §IV.B: 7.3 GB at 2.5 GB/s ≈ 3 s (vs 8 s for raw 40 GB... at ~5GB/s
+        // the paper's arithmetic is loose; ours follows the stated rate).
+        let t = gtx().transfer_secs(7_300_000_000);
+        assert!((t - 2.92).abs() < 0.01, "got {t}");
+    }
+
+    #[test]
+    fn scatter_costs_more_than_coalesced() {
+        let m = gtx();
+        let co = KernelWork { coalesced_bytes: 1 << 30, ..Default::default() };
+        let sc = KernelWork { scattered_bytes: 1 << 30, ..Default::default() };
+        assert!(
+            m.kernel_secs(KernelClass::Generic, &sc) > 3.0 * m.kernel_secs(KernelClass::Generic, &co)
+        );
+    }
+
+    #[test]
+    fn work_counter_accumulates_concurrently() {
+        let wc = WorkCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        wc.add_flops(3);
+                        wc.add_atomics(1);
+                        wc.add_coalesced(2);
+                        wc.add_scattered(5);
+                    }
+                });
+            }
+        });
+        let w = wc.snapshot();
+        assert_eq!(w.flops, 24_000);
+        assert_eq!(w.atomics, 8_000);
+        assert_eq!(w.coalesced_bytes, 16_000);
+        assert_eq!(w.scattered_bytes, 40_000);
+    }
+
+    #[test]
+    fn scale_extrapolates_data_terms_only() {
+        let w = KernelWork { flops: 100, coalesced_bytes: 10, scattered_bytes: 4, atomics: 7, launches: 3 };
+        let s = w.scale(256.0);
+        assert_eq!(s.flops, 25_600);
+        assert_eq!(s.coalesced_bytes, 2_560);
+        assert_eq!(s.scattered_bytes, 1_024);
+        assert_eq!(s.atomics, 1_792);
+        assert_eq!(s.launches, 3, "launch count does not scale with data");
+    }
+
+    #[test]
+    fn launch_overhead_counts() {
+        let m = gtx();
+        let w = KernelWork { launches: 1000, ..Default::default() };
+        let t = m.kernel_secs(KernelClass::Generic, &w);
+        assert!((t - 1000.0 * 8e-6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Simulated device specifications.
+//!
+//! The presets carry the published parameters of the three GPUs the paper
+//! evaluates on. The paper itself motivates its Table 2 speedups with these
+//! numbers: "the Kepler-based GPU device not only has 6 times of processing
+//! cores (2,688 vs. 448 …) but also 2 times memory bandwidth (288.4 GB/s vs.
+//! 144 GB/s)".
+
+use serde::{Deserialize, Serialize};
+
+/// GPU micro-architecture generations relevant to the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arch {
+    /// Nvidia Fermi (Quadro 6000): fewer, faster cores; slow global atomics.
+    Fermi,
+    /// Nvidia Kepler (GTX Titan, Tesla K20X): many slower cores; the
+    /// "significantly improved" atomics the paper's Step 1 relies on.
+    Kepler,
+}
+
+/// A simulated GPU device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    pub name: &'static str,
+    pub arch: Arch,
+    /// CUDA cores.
+    pub cores: u32,
+    /// Core clock, GHz.
+    pub clock_ghz: f64,
+    /// Global memory bandwidth, GB/s.
+    pub mem_bw_gbps: f64,
+    /// Device memory, GiB (all the paper's devices have ≥ 5 GB; the
+    /// pipeline checks its footprint against this, as §III.A does).
+    pub mem_gib: f64,
+    /// Sustained host↔device transfer rate, GB/s (the paper assumes
+    /// 2.5 GB/s in its §IV.B compression argument).
+    pub pcie_gbps: f64,
+    /// Sustained global atomic-add throughput, 10⁹ ops/s. Calibrated
+    /// against Table 2's Step 1 (see EXPERIMENTS.md).
+    pub atomic_gops: f64,
+    /// Fixed per-kernel-launch overhead, microseconds.
+    pub launch_overhead_us: f64,
+}
+
+impl DeviceSpec {
+    /// Peak arithmetic throughput in operations per second (1 op/core/cycle).
+    pub fn peak_flops(&self) -> f64 {
+        self.cores as f64 * self.clock_ghz * 1e9
+    }
+
+    /// Penalty multiplier for uncoalesced (scattered) global accesses:
+    /// the effective bytes moved per useful byte. Kepler's cache hierarchy
+    /// roughly halves Fermi's penalty.
+    pub fn scatter_penalty(&self) -> f64 {
+        match self.arch {
+            Arch::Fermi => 8.0,
+            Arch::Kepler => 4.0,
+        }
+    }
+
+    /// The Fermi-generation Quadro 6000 used in the paper's first testbed.
+    pub const fn quadro_6000() -> DeviceSpec {
+        DeviceSpec {
+            name: "Quadro 6000",
+            arch: Arch::Fermi,
+            cores: 448,
+            clock_ghz: 1.15,
+            mem_bw_gbps: 144.0,
+            mem_gib: 6.0,
+            pcie_gbps: 2.5,
+            atomic_gops: 1.15,
+            launch_overhead_us: 10.0,
+        }
+    }
+
+    /// The Kepler GTX Titan used in the paper's second testbed
+    /// ("46 seconds end-to-end").
+    pub const fn gtx_titan() -> DeviceSpec {
+        DeviceSpec {
+            name: "GTX Titan",
+            arch: Arch::Kepler,
+            cores: 2688,
+            clock_ghz: 0.837,
+            mem_bw_gbps: 288.4,
+            mem_gib: 6.0,
+            pcie_gbps: 2.5,
+            atomic_gops: 1.85,
+            launch_overhead_us: 8.0,
+        }
+    }
+
+    /// The Tesla K20X on ORNL Titan nodes (the paper observes a ~25% gap to
+    /// GTX Titan from "lower clock rate and bandwidth … as well as MPI
+    /// overheads").
+    pub const fn tesla_k20x() -> DeviceSpec {
+        DeviceSpec {
+            name: "Tesla K20X",
+            arch: Arch::Kepler,
+            cores: 2688,
+            clock_ghz: 0.732,
+            mem_bw_gbps: 250.0,
+            mem_gib: 6.0,
+            pcie_gbps: 2.5,
+            atomic_gops: 1.62,
+            launch_overhead_us: 8.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quoted_ratios() {
+        let fermi = DeviceSpec::quadro_6000();
+        let kepler = DeviceSpec::gtx_titan();
+        assert_eq!(kepler.cores / fermi.cores, 6, "paper: 6x the cores");
+        let bw_ratio = kepler.mem_bw_gbps / fermi.mem_bw_gbps;
+        assert!((bw_ratio - 2.0).abs() < 0.01, "paper: 2x the bandwidth");
+        assert!(kepler.clock_ghz < fermi.clock_ghz, "Kepler cores have lower frequency");
+    }
+
+    #[test]
+    fn peak_flops() {
+        let d = DeviceSpec::gtx_titan();
+        let peak = d.peak_flops();
+        assert!((peak - 2688.0 * 0.837e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn k20x_slower_than_gtx_titan() {
+        let k20x = DeviceSpec::tesla_k20x();
+        let gtx = DeviceSpec::gtx_titan();
+        assert!(k20x.clock_ghz < gtx.clock_ghz);
+        assert!(k20x.mem_bw_gbps < gtx.mem_bw_gbps);
+        assert!(k20x.atomic_gops < gtx.atomic_gops);
+    }
+
+    #[test]
+    fn scatter_penalty_by_arch() {
+        assert!(DeviceSpec::quadro_6000().scatter_penalty() > DeviceSpec::gtx_titan().scatter_penalty());
+    }
+
+    #[test]
+    fn all_devices_fit_the_pertile_histograms() {
+        // §III.A: 50 MB of per-tile histograms for a 5×5 degree raster is
+        // "acceptable as all GPUs used in our experiments have at least 5GB".
+        for d in [DeviceSpec::quadro_6000(), DeviceSpec::gtx_titan(), DeviceSpec::tesla_k20x()] {
+            assert!(d.mem_gib >= 5.0, "{}", d.name);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Grid-level kernel launch on a work-stealing pool.
+//!
+//! A CUDA kernel launch is a grid of *independent* thread blocks: blocks may
+//! not communicate except through global atomics, and the hardware schedules
+//! them in any order. That contract maps directly onto a parallel iterator
+//! over block indices — which is how these launches execute. Anything a
+//! kernel writes must therefore go through owned per-block results
+//! ([`launch_map`]) or atomic buffers ([`crate::atomic`]), the same
+//! discipline CUDA imposes.
+
+use rayon::prelude::*;
+
+/// Launch `n_blocks` independent blocks; `kernel(block_idx)` runs once per
+/// block, in any order, possibly concurrently.
+#[allow(clippy::redundant_closure)] // passing `kernel` directly would demand F: Send
+pub fn launch<F>(n_blocks: usize, kernel: F)
+where
+    F: Fn(usize) + Sync,
+{
+    (0..n_blocks).into_par_iter().for_each(|b| kernel(b));
+}
+
+/// Launch blocks that each produce a value; results are returned in block
+/// order (the analogue of each block writing to its own output slot).
+#[allow(clippy::redundant_closure)] // passing `kernel` directly would demand F: Send
+pub fn launch_map<T, F>(n_blocks: usize, kernel: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    (0..n_blocks).into_par_iter().map(|b| kernel(b)).collect()
+}
+
+/// A 2-D grid shape, mirroring CUDA's `gridDim` for kernels that the paper
+/// writes with `int idx = blockIdx.y * gridDim.x + blockIdx.x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid2 {
+    pub x: usize,
+    pub y: usize,
+}
+
+impl Grid2 {
+    pub fn new(x: usize, y: usize) -> Self {
+        Grid2 { x, y }
+    }
+
+    pub fn n_blocks(&self) -> usize {
+        self.x * self.y
+    }
+
+    /// Linear block id from 2-D block position.
+    #[inline]
+    pub fn linear(&self, bx: usize, by: usize) -> usize {
+        by * self.x + bx
+    }
+
+    /// Inverse of [`Grid2::linear`].
+    #[inline]
+    pub fn pos(&self, idx: usize) -> (usize, usize) {
+        (idx % self.x, idx / self.x)
+    }
+}
+
+/// The CUDA strided-loop pattern
+/// `for (k = 0; k < n; k += blockDim) { i = k + tid; if (i < n) … }`
+/// as an iterator over the indices thread `tid` handles.
+#[inline]
+pub fn strided(tid: usize, block_dim: usize, n: usize) -> impl Iterator<Item = usize> {
+    debug_assert!(block_dim > 0);
+    (tid..n).step_by(block_dim.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn launch_runs_every_block_once() {
+        let hits = AtomicUsize::new(0);
+        launch(1000, |_b| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn launch_map_preserves_block_order() {
+        let out = launch_map(257, |b| b * b);
+        assert_eq!(out.len(), 257);
+        for (b, v) in out.iter().enumerate() {
+            assert_eq!(*v, b * b);
+        }
+    }
+
+    #[test]
+    fn launch_zero_blocks() {
+        launch(0, |_| panic!("no blocks should run"));
+        let out: Vec<u32> = launch_map(0, |_| 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn grid2_linearization_roundtrip() {
+        let g = Grid2::new(7, 5);
+        assert_eq!(g.n_blocks(), 35);
+        for idx in 0..g.n_blocks() {
+            let (bx, by) = g.pos(idx);
+            assert_eq!(g.linear(bx, by), idx);
+            assert!(bx < g.x && by < g.y);
+        }
+    }
+
+    #[test]
+    fn strided_partitions_range() {
+        // All threads together cover 0..n exactly once — the invariant the
+        // paper's `k + threadIdx.x` loops rely on.
+        let n = 1003;
+        let block_dim = 256;
+        let mut seen = vec![false; n];
+        for tid in 0..block_dim {
+            for i in strided(tid, block_dim, n) {
+                assert!(!seen[i], "index {i} visited twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn strided_small_n() {
+        assert_eq!(strided(3, 256, 2).count(), 0, "thread beyond n does nothing");
+        assert_eq!(strided(1, 256, 2).collect::<Vec<_>>(), vec![1]);
+    }
+}

@@ -1,0 +1,215 @@
+//! CUDA-style occupancy calculation.
+//!
+//! The paper repeatedly reasons about per-block resources — §III.A sizes
+//! per-tile histograms against device memory, and §III.D declines to stage
+//! polygon vertices in shared memory because "GPU shared memory is still a
+//! limited resource, doing so may reduce the scalability of the
+//! implementation". This module makes that reasoning computable: given a
+//! kernel's per-block resource appetite, how many blocks fit on an SM, and
+//! what fraction of the device's thread capacity stays busy?
+
+use crate::device::Arch;
+use serde::{Deserialize, Serialize};
+
+/// Per-SM resource limits of an architecture generation (values for the
+/// paper's GPUs: Fermi GF100 and Kepler GK110).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmLimits {
+    pub max_threads: u32,
+    pub max_blocks: u32,
+    pub shared_mem_bytes: u32,
+    pub registers: u32,
+    /// Threads per warp (32 on every Nvidia architecture).
+    pub warp_size: u32,
+}
+
+impl SmLimits {
+    pub fn for_arch(arch: Arch) -> SmLimits {
+        match arch {
+            Arch::Fermi => SmLimits {
+                max_threads: 1536,
+                max_blocks: 8,
+                shared_mem_bytes: 48 * 1024,
+                registers: 32 * 1024,
+                warp_size: 32,
+            },
+            Arch::Kepler => SmLimits {
+                max_threads: 2048,
+                max_blocks: 16,
+                shared_mem_bytes: 48 * 1024,
+                registers: 64 * 1024,
+                warp_size: 32,
+            },
+        }
+    }
+}
+
+/// A kernel's per-block resource appetite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockResources {
+    pub threads: u32,
+    pub shared_mem_bytes: u32,
+    pub registers_per_thread: u32,
+}
+
+/// Result of an occupancy calculation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Blocks resident per SM.
+    pub blocks_per_sm: u32,
+    /// Resident threads per SM.
+    pub threads_per_sm: u32,
+    /// Fraction of the SM's thread capacity occupied (0..=1).
+    pub fraction: f64,
+    /// Which resource capped the block count.
+    pub limiter: Limiter,
+}
+
+/// The resource that bounds residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Limiter {
+    Threads,
+    Blocks,
+    SharedMemory,
+    Registers,
+}
+
+/// Compute occupancy of a kernel on an SM. Returns `None` when a single
+/// block already exceeds the SM (unlaunchable kernel).
+pub fn occupancy(limits: &SmLimits, block: &BlockResources) -> Option<Occupancy> {
+    if block.threads == 0 {
+        return None;
+    }
+    // Threads round up to whole warps for residency accounting.
+    let warps = block.threads.div_ceil(limits.warp_size);
+    let threads_rounded = warps * limits.warp_size;
+
+    let by_threads = limits.max_threads / threads_rounded;
+    let by_blocks = limits.max_blocks;
+    let by_shmem = limits
+        .shared_mem_bytes
+        .checked_div(block.shared_mem_bytes)
+        .unwrap_or(u32::MAX);
+    let regs_per_block = block.registers_per_thread * threads_rounded;
+    let by_regs = limits.registers.checked_div(regs_per_block).unwrap_or(u32::MAX);
+
+    let (blocks, limiter) = [
+        (by_threads, Limiter::Threads),
+        (by_blocks, Limiter::Blocks),
+        (by_shmem, Limiter::SharedMemory),
+        (by_regs, Limiter::Registers),
+    ]
+    .into_iter()
+    .min_by_key(|&(b, _)| b)
+    .expect("nonempty");
+
+    if blocks == 0 {
+        return None;
+    }
+    let threads_per_sm = blocks * threads_rounded;
+    Some(Occupancy {
+        blocks_per_sm: blocks,
+        threads_per_sm,
+        fraction: threads_per_sm as f64 / limits.max_threads as f64,
+        limiter,
+    })
+}
+
+/// Shared-memory bytes needed to stage one polygon's vertices per block —
+/// the §III.D design the paper rejects. Two f64 coordinates per flat slot.
+pub fn polygon_stage_bytes(flat_slots: usize) -> u32 {
+    (flat_slots * 16) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kepler() -> SmLimits {
+        SmLimits::for_arch(Arch::Kepler)
+    }
+
+    fn fermi() -> SmLimits {
+        SmLimits::for_arch(Arch::Fermi)
+    }
+
+    #[test]
+    fn plain_kernel_thread_limited() {
+        // The paper's 256-thread blocks with no shared memory: Kepler fits
+        // 8 blocks (2048/256), Fermi 6 (1536/256).
+        let block = BlockResources { threads: 256, shared_mem_bytes: 0, registers_per_thread: 0 };
+        let k = occupancy(&kepler(), &block).expect("launchable");
+        assert_eq!(k.blocks_per_sm, 8);
+        assert_eq!(k.fraction, 1.0);
+        assert_eq!(k.limiter, Limiter::Threads);
+        let f = occupancy(&fermi(), &block).expect("launchable");
+        assert_eq!(f.blocks_per_sm, 6);
+        assert_eq!(f.fraction, 1.0);
+    }
+
+    #[test]
+    fn block_count_limited_for_small_blocks() {
+        // 32-thread blocks: residency capped by max_blocks, occupancy low.
+        let block = BlockResources { threads: 32, shared_mem_bytes: 0, registers_per_thread: 0 };
+        let k = occupancy(&kepler(), &block).expect("launchable");
+        assert_eq!(k.blocks_per_sm, 16);
+        assert_eq!(k.limiter, Limiter::Blocks);
+        assert!((k.fraction - 16.0 * 32.0 / 2048.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_memory_staging_kills_occupancy() {
+        // §III.D: staging a big polygon (3,000 flat slots = 48,000 B) in
+        // shared memory leaves room for exactly one block per SM.
+        let shmem = polygon_stage_bytes(3000);
+        let block = BlockResources { threads: 256, shared_mem_bytes: shmem, registers_per_thread: 0 };
+        let k = occupancy(&kepler(), &block).expect("launchable");
+        assert_eq!(k.blocks_per_sm, 1);
+        assert_eq!(k.limiter, Limiter::SharedMemory);
+        assert!(k.fraction <= 0.2, "occupancy collapses, as the paper warns");
+    }
+
+    #[test]
+    fn oversized_block_unlaunchable() {
+        let too_big = BlockResources {
+            threads: 256,
+            shared_mem_bytes: 64 * 1024,
+            registers_per_thread: 0,
+        };
+        assert_eq!(occupancy(&kepler(), &too_big), None);
+        assert_eq!(
+            occupancy(&kepler(), &BlockResources { threads: 0, shared_mem_bytes: 0, registers_per_thread: 0 }),
+            None
+        );
+    }
+
+    #[test]
+    fn register_pressure_limits() {
+        let block = BlockResources { threads: 256, shared_mem_bytes: 0, registers_per_thread: 64 };
+        let f = occupancy(&fermi(), &block).expect("launchable");
+        // 64 regs × 256 threads = 16K regs/block; Fermi has 32K => 2 blocks.
+        assert_eq!(f.blocks_per_sm, 2);
+        assert_eq!(f.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn warp_rounding() {
+        // 33 threads occupy 2 warps = 64 thread slots.
+        let block = BlockResources { threads: 33, shared_mem_bytes: 0, registers_per_thread: 0 };
+        let k = occupancy(&kepler(), &block).expect("launchable");
+        assert_eq!(k.threads_per_sm, k.blocks_per_sm * 64);
+    }
+
+    #[test]
+    fn average_county_fits_comfortably() {
+        // An average county (≈30 flat slots = 480 B) could be staged with
+        // no occupancy loss — the tradeoff only bites on complex polygons.
+        let block = BlockResources {
+            threads: 256,
+            shared_mem_bytes: polygon_stage_bytes(30),
+            registers_per_thread: 0,
+        };
+        let k = occupancy(&kepler(), &block).expect("launchable");
+        assert_eq!(k.fraction, 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! World ↔ cell coordinate mapping.
+
+use serde::{Deserialize, Serialize};
+use zonal_geo::{Mbr, Point};
+
+/// Affine mapping between world coordinates (degrees) and cell indices.
+///
+/// Unlike GDAL's top-left convention, row 0 is the **southern** edge so that
+/// row index grows with latitude; this keeps every index calculation in the
+/// pipeline monotone, which the kernels rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoTransform {
+    /// World x of the western edge of column 0.
+    pub x0: f64,
+    /// World y of the southern edge of row 0.
+    pub y0: f64,
+    /// Cell width in world units (> 0).
+    pub sx: f64,
+    /// Cell height in world units (> 0).
+    pub sy: f64,
+}
+
+impl GeoTransform {
+    pub fn new(x0: f64, y0: f64, sx: f64, sy: f64) -> Self {
+        assert!(sx > 0.0 && sy > 0.0, "cell size must be positive");
+        GeoTransform { x0, y0, sx, sy }
+    }
+
+    /// A transform with square cells of `1/cells_per_degree` degrees.
+    /// SRTM 30 m data is `cells_per_degree = 3600`.
+    pub fn per_degree(x0: f64, y0: f64, cells_per_degree: u32) -> Self {
+        let s = 1.0 / cells_per_degree as f64;
+        GeoTransform::new(x0, y0, s, s)
+    }
+
+    /// Center of cell `(row, col)` — the representative point the paper's
+    /// Step 4 kernel tests against polygons.
+    #[inline]
+    pub fn cell_center(&self, row: usize, col: usize) -> Point {
+        Point::new(
+            self.x0 + (col as f64 + 0.5) * self.sx,
+            self.y0 + (row as f64 + 0.5) * self.sy,
+        )
+    }
+
+    /// World-space box of cell `(row, col)`.
+    #[inline]
+    pub fn cell_box(&self, row: usize, col: usize) -> Mbr {
+        Mbr::new(
+            self.x0 + col as f64 * self.sx,
+            self.y0 + row as f64 * self.sy,
+            self.x0 + (col as f64 + 1.0) * self.sx,
+            self.y0 + (row as f64 + 1.0) * self.sy,
+        )
+    }
+
+    /// Cell containing world point `p` (floor semantics; may be negative or
+    /// out of raster bounds — callers clamp against their dimensions).
+    #[inline]
+    pub fn world_to_cell(&self, p: Point) -> (i64, i64) {
+        (
+            ((p.y - self.y0) / self.sy).floor() as i64,
+            ((p.x - self.x0) / self.sx).floor() as i64,
+        )
+    }
+
+    /// World-space box of a `rows × cols` raster anchored at this transform.
+    pub fn extent(&self, rows: usize, cols: usize) -> Mbr {
+        Mbr::new(
+            self.x0,
+            self.y0,
+            self.x0 + cols as f64 * self.sx,
+            self.y0 + rows as f64 * self.sy,
+        )
+    }
+
+    /// Translate the origin by whole cells (used when slicing partitions
+    /// out of a catalog raster).
+    pub fn shifted(&self, row_off: usize, col_off: usize) -> GeoTransform {
+        GeoTransform {
+            x0: self.x0 + col_off as f64 * self.sx,
+            y0: self.y0 + row_off as f64 * self.sy,
+            sx: self.sx,
+            sy: self.sy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_center_roundtrip() {
+        let gt = GeoTransform::per_degree(-125.0, 24.0, 3600);
+        for (r, c) in [(0usize, 0usize), (100, 200), (3599, 3599)] {
+            let p = gt.cell_center(r, c);
+            assert_eq!(gt.world_to_cell(p), (r as i64, c as i64));
+        }
+    }
+
+    #[test]
+    fn world_to_cell_edges() {
+        let gt = GeoTransform::new(0.0, 0.0, 1.0, 1.0);
+        // Half-open cells: the shared edge belongs to the higher cell.
+        assert_eq!(gt.world_to_cell(Point::new(0.0, 0.0)), (0, 0));
+        assert_eq!(gt.world_to_cell(Point::new(1.0, 1.0)), (1, 1));
+        assert_eq!(gt.world_to_cell(Point::new(0.999, 0.5)), (0, 0));
+        assert_eq!(gt.world_to_cell(Point::new(-0.5, 0.5)), (0, -1));
+    }
+
+    #[test]
+    fn cell_box_tiles_extent() {
+        let gt = GeoTransform::new(10.0, 20.0, 0.5, 0.25);
+        let b = gt.cell_box(2, 3);
+        assert_eq!(b, Mbr::new(11.5, 20.5, 12.0, 20.75));
+        let e = gt.extent(4, 8);
+        assert_eq!(e, Mbr::new(10.0, 20.0, 14.0, 21.0));
+    }
+
+    #[test]
+    fn shifted_origin() {
+        let gt = GeoTransform::new(0.0, 0.0, 0.1, 0.2);
+        let s = gt.shifted(10, 5);
+        assert!((s.x0 - 0.5).abs() < 1e-12);
+        assert!((s.y0 - 2.0).abs() < 1e-12);
+        assert_eq!(s.sx, gt.sx);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_size_panics() {
+        let _ = GeoTransform::new(0.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn srtm_resolution() {
+        let gt = GeoTransform::per_degree(-125.0, 24.0, 3600);
+        assert!((gt.sx - 1.0 / 3600.0).abs() < 1e-15);
+        // One degree spans exactly 3600 cells.
+        let (r, c) = gt.world_to_cell(Point::new(-124.0 + 1e-9, 25.0 + 1e-9));
+        assert_eq!((r, c), (3600, 3600));
+    }
+}

@@ -1,0 +1,151 @@
+//! Morton (Z-order) cell layouts.
+//!
+//! The paper leaves "pre-sorting tile cells using a better ordering (e.g.,
+//! Morton Code) to preserve spatial proximity and achieve better memory
+//! accesses" as future work (§III.A). This module implements that layout so
+//! the ablation bench `ablate_morton` can measure it against plain row-major
+//! order.
+
+use crate::TileData;
+
+/// Interleave the low 16 bits of `v` with zeros (helper for 32-bit Morton
+/// codes).
+#[inline]
+fn part1by1(v: u32) -> u32 {
+    let mut x = v & 0x0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555;
+    x
+}
+
+/// Inverse of [`part1by1`].
+#[inline]
+fn compact1by1(v: u32) -> u32 {
+    let mut x = v & 0x5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF;
+    x
+}
+
+/// Morton code of cell `(row, col)`; both must be < 2^16.
+#[inline]
+pub fn morton_encode(row: u32, col: u32) -> u32 {
+    debug_assert!(row < (1 << 16) && col < (1 << 16));
+    (part1by1(row) << 1) | part1by1(col)
+}
+
+/// Inverse of [`morton_encode`]: `(row, col)`.
+#[inline]
+pub fn morton_decode(code: u32) -> (u32, u32) {
+    (compact1by1(code >> 1), compact1by1(code))
+}
+
+/// Enumerate the cells of a `rows × cols` block in Morton order.
+///
+/// For non-square or non-power-of-two blocks the enumeration walks the
+/// enclosing power-of-two square and skips out-of-range codes, so every cell
+/// appears exactly once.
+pub fn morton_order(rows: usize, cols: usize) -> Vec<(usize, usize)> {
+    let side = rows.max(cols).next_power_of_two() as u32;
+    let mut out = Vec::with_capacity(rows * cols);
+    for code in 0..(side as u64 * side as u64) {
+        let (r, c) = morton_decode(code as u32);
+        if (r as usize) < rows && (c as usize) < cols {
+            out.push((r as usize, c as usize));
+        }
+    }
+    out
+}
+
+/// Re-lay a tile's values into Morton order. Element `k` of the result is
+/// the value of the `k`-th cell in Morton enumeration.
+pub fn tile_to_morton(tile: &TileData) -> Vec<u16> {
+    morton_order(tile.rows, tile.cols)
+        .into_iter()
+        .map(|(r, c)| tile.get(r, c))
+        .collect()
+}
+
+/// Undo [`tile_to_morton`].
+pub fn tile_from_morton(values: &[u16], rows: usize, cols: usize) -> TileData {
+    assert_eq!(values.len(), rows * cols, "morton buffer shape mismatch");
+    let mut out = vec![0u16; rows * cols];
+    for (k, (r, c)) in morton_order(rows, cols).into_iter().enumerate() {
+        out[r * cols + c] = values[k];
+    }
+    TileData::new(out, rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for (r, c) in [(0u32, 0u32), (1, 0), (0, 1), (255, 511), (65535, 65535), (1234, 4321)] {
+            assert_eq!(morton_decode(morton_encode(r, c)), (r, c));
+        }
+    }
+
+    #[test]
+    fn first_codes_follow_z_curve() {
+        // The canonical Z: (0,0) (0,1) (1,0) (1,1) in (row, col) with col in
+        // the low bit.
+        assert_eq!(morton_encode(0, 0), 0);
+        assert_eq!(morton_encode(0, 1), 1);
+        assert_eq!(morton_encode(1, 0), 2);
+        assert_eq!(morton_encode(1, 1), 3);
+        assert_eq!(morton_encode(0, 2), 4);
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        for (rows, cols) in [(4usize, 4usize), (5, 3), (1, 7), (8, 8), (6, 10)] {
+            let order = morton_order(rows, cols);
+            assert_eq!(order.len(), rows * cols);
+            let mut seen = vec![false; rows * cols];
+            for (r, c) in order {
+                assert!(r < rows && c < cols);
+                assert!(!seen[r * cols + c], "({r},{c}) repeated");
+                seen[r * cols + c] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn morton_locality_beats_rowmajor_for_square_blocks() {
+        // Mean index distance between vertically adjacent cells is smaller
+        // in Morton order — the property the paper hopes to exploit.
+        let n = 32usize;
+        let order = morton_order(n, n);
+        let mut pos = vec![0usize; n * n];
+        for (k, (r, c)) in order.iter().enumerate() {
+            pos[r * n + c] = k;
+        }
+        let mut morton_dist = 0i64;
+        let mut row_dist = 0i64;
+        for r in 0..n - 1 {
+            for c in 0..n {
+                morton_dist += (pos[r * n + c] as i64 - pos[(r + 1) * n + c] as i64).abs();
+                row_dist += n as i64; // row-major vertical neighbours are n apart
+            }
+        }
+        assert!(
+            morton_dist < row_dist,
+            "morton vertical locality {morton_dist} should beat row-major {row_dist}"
+        );
+    }
+
+    #[test]
+    fn tile_roundtrip() {
+        let tile = TileData::new((0..35u16).collect(), 5, 7);
+        let m = tile_to_morton(&tile);
+        assert_eq!(m.len(), 35);
+        let back = tile_from_morton(&m, 5, 7);
+        assert_eq!(back, tile);
+    }
+}

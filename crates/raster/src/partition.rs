@@ -1,0 +1,215 @@
+//! Splitting catalog rasters into cluster partitions.
+//!
+//! The paper decomposes its 6 source rasters into 36 smaller rasters so
+//! "multiple Titan nodes \[can\] process the raster data in parallel"
+//! (Table 1). A [`Partition`] is one of those sub-rasters; assignment
+//! strategies map partitions onto cluster nodes.
+
+use crate::geotransform::GeoTransform;
+use crate::srtm::CatalogRaster;
+use crate::tile::TileGrid;
+use serde::{Deserialize, Serialize};
+use zonal_geo::Mbr;
+
+/// A sub-rectangle of a catalog raster, self-describing enough for a node
+/// to process it independently.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Index of the parent raster in the catalog.
+    pub raster_idx: usize,
+    /// Parent raster name.
+    pub raster_name: &'static str,
+    /// Position in the parent's partition grid.
+    pub sub_row: u32,
+    pub sub_col: u32,
+    /// Cell shape of this partition.
+    pub rows: usize,
+    pub cols: usize,
+    /// World placement of this partition.
+    pub transform: GeoTransform,
+}
+
+impl Partition {
+    pub fn cells(&self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+
+    pub fn extent(&self) -> Mbr {
+        self.transform.extent(self.rows, self.cols)
+    }
+
+    /// Tile grid for the pipeline over this partition (paper: 0.1° tiles).
+    pub fn grid(&self, tile_deg: f64) -> TileGrid {
+        TileGrid::for_degree_tile(self.rows, self.cols, tile_deg, self.transform)
+    }
+}
+
+/// Near-equal split of `n` cells into `parts` chunks; earlier chunks get the
+/// remainder, and every chunk is non-empty when `n >= parts`.
+fn chunk_bounds(n: usize, parts: u32) -> Vec<(usize, usize)> {
+    let parts = parts as usize;
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < rem);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+/// Split a catalog raster into its `part_rows × part_cols` partitions.
+pub fn split(raster: &CatalogRaster, raster_idx: usize, cells_per_degree: u32) -> Vec<Partition> {
+    let rows = raster.rows(cells_per_degree);
+    let cols = raster.cols(cells_per_degree);
+    let gt = raster.transform(cells_per_degree);
+    let row_chunks = chunk_bounds(rows, raster.part_rows);
+    let col_chunks = chunk_bounds(cols, raster.part_cols);
+    let mut out = Vec::with_capacity(raster.n_partitions() as usize);
+    for (sr, &(row0, prows)) in row_chunks.iter().enumerate() {
+        for (sc, &(col0, pcols)) in col_chunks.iter().enumerate() {
+            out.push(Partition {
+                raster_idx,
+                raster_name: raster.name,
+                sub_row: sr as u32,
+                sub_col: sc as u32,
+                rows: prows,
+                cols: pcols,
+                transform: gt.shifted(row0, col0),
+            });
+        }
+    }
+    out
+}
+
+/// Round-robin assignment of partitions to `n_nodes` nodes — the paper's
+/// simple static distribution. Returns, per node, the indices into the
+/// partition list.
+pub fn assign_round_robin(n_partitions: usize, n_nodes: usize) -> Vec<Vec<usize>> {
+    assert!(n_nodes > 0);
+    let mut out = vec![Vec::new(); n_nodes];
+    for p in 0..n_partitions {
+        out[p % n_nodes].push(p);
+    }
+    out
+}
+
+/// Greedy longest-processing-time assignment by a per-partition weight
+/// (e.g. cell count or measured cost). A better-balanced alternative used
+/// by the load-balancing ablation the paper sketches in §IV.C.
+pub fn assign_balanced(weights: &[u64], n_nodes: usize) -> Vec<Vec<usize>> {
+    assert!(n_nodes > 0);
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+    let mut out = vec![Vec::new(); n_nodes];
+    let mut load = vec![0u64; n_nodes];
+    for i in order {
+        let node = (0..n_nodes).min_by_key(|&n| (load[n], n)).expect("n_nodes > 0");
+        load[node] += weights[i];
+        out[node].push(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::srtm::{SrtmCatalog, CATALOG};
+
+    #[test]
+    fn chunk_bounds_cover_exactly() {
+        for (n, parts) in [(10usize, 3u32), (36, 7), (7, 7), (100, 1)] {
+            let chunks = chunk_bounds(n, parts);
+            assert_eq!(chunks.len(), parts as usize);
+            let mut pos = 0;
+            for (start, len) in chunks {
+                assert_eq!(start, pos);
+                pos += len;
+            }
+            assert_eq!(pos, n);
+        }
+    }
+
+    #[test]
+    fn partitions_cover_each_raster() {
+        let cpd = 120;
+        for (idx, raster) in CATALOG.iter().enumerate() {
+            let parts = split(raster, idx, cpd);
+            assert_eq!(parts.len(), raster.n_partitions() as usize);
+            let cells: u64 = parts.iter().map(Partition::cells).sum();
+            assert_eq!(cells, raster.cells(cpd), "{}", raster.name);
+            // Extents must tile the raster extent by area.
+            let area: f64 = parts.iter().map(|p| p.extent().area()).sum();
+            assert!((area - raster.extent().area()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn partitions_are_disjoint() {
+        let cpd = 60;
+        let parts = SrtmCatalog::new(cpd).partitions();
+        assert_eq!(parts.len(), 36);
+        for (i, a) in parts.iter().enumerate() {
+            for b in parts.iter().skip(i + 1) {
+                let inter = a.extent().intersection(&b.extent());
+                assert!(
+                    inter.is_empty() || inter.area() < 1e-9,
+                    "partitions {i} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_partition_cells_sum() {
+        let cat = SrtmCatalog::new(225);
+        let total: u64 = cat.partitions().iter().map(Partition::cells).sum();
+        assert_eq!(total, cat.total_cells());
+    }
+
+    #[test]
+    fn round_robin_covers_all() {
+        let assign = assign_round_robin(36, 8);
+        assert_eq!(assign.len(), 8);
+        let mut all: Vec<usize> = assign.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..36).collect::<Vec<_>>());
+        // Sizes differ by at most one.
+        let sizes: Vec<usize> = assign.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn balanced_beats_round_robin_on_skewed_weights() {
+        // One huge partition plus many small ones.
+        let mut weights = vec![100u64];
+        weights.extend(std::iter::repeat_n(10, 11));
+        let nodes = 4;
+        let balanced = assign_balanced(&weights, nodes);
+        let rr = assign_round_robin(weights.len(), nodes);
+        let max_load = |assign: &[Vec<usize>]| {
+            assign
+                .iter()
+                .map(|idx| idx.iter().map(|&i| weights[i]).sum::<u64>())
+                .max()
+                .unwrap()
+        };
+        assert!(max_load(&balanced) <= max_load(&rr));
+        assert_eq!(max_load(&balanced), 100, "huge partition alone on one node");
+    }
+
+    #[test]
+    fn partition_grid_uses_partition_transform() {
+        let cpd = 60;
+        let parts = SrtmCatalog::new(cpd).partitions();
+        let p = &parts[3];
+        let grid = p.grid(0.1);
+        assert_eq!(grid.raster_rows(), p.rows);
+        assert_eq!(grid.raster_cols(), p.cols);
+        // 0.1 degree tiles at 60 cells/degree => 6-cell tiles.
+        assert_eq!(grid.tile_cells(), 6);
+        assert_eq!(grid.transform(), &p.transform);
+    }
+}

@@ -1,0 +1,420 @@
+//! Synthetic SRTM-like elevation data and the Table 1 raster catalog.
+//!
+//! The paper's raster input is the NASA SRTM 30 m DEM over CONUS:
+//! 20,165,760,000 cells in 6 rasters, further split into 36 partitions for
+//! the cluster experiment (Table 1). That data is tens of gigabytes and not
+//! shippable, so this module provides:
+//!
+//! * [`elevation`] — a deterministic fractional-Brownian-motion terrain
+//!   function with an ocean/no-data mask, producing an SRTM-like value
+//!   distribution (most cells below 5000 m, spatially correlated values,
+//!   no-data over water). Spatial correlation matters: it reproduces the
+//!   atomic-update collision profile of Step 1 (neighbouring cells tend to
+//!   hit the same histogram bin, as in real DEMs).
+//! * [`SyntheticSrtm`] — a [`TileSource`] that materializes tiles of that
+//!   terrain on demand, so experiments never hold a full raster in memory.
+//! * [`SrtmCatalog`] — a reconstruction of the paper's Table 1: six
+//!   disjoint rasters covering a CONUS-plus-margin region whose cell counts
+//!   sum to **exactly 20,165,760,000** at 3600 cells/degree, with the 36-way
+//!   partition schema. (The per-raster dimensions in the available paper
+//!   text are garbled; the catalog here is a self-consistent reconstruction
+//!   honouring every legible total: 6 rasters, 36 partitions,
+//!   20,165,760,000 cells, 0.1°-aligned extents.) A `cells_per_degree`
+//!   scale knob runs the same geometry at reduced resolution.
+
+use crate::geotransform::GeoTransform;
+use crate::partition::Partition;
+use crate::tile::TileGrid;
+use crate::{TileData, TileSource};
+use serde::{Deserialize, Serialize};
+use zonal_geo::Mbr;
+
+/// No-data marker (ocean / voids). SRTM uses -32768 in i16; we store cells
+/// as u16 with the maximum value reserved.
+pub const NODATA: u16 = u16::MAX;
+
+/// Largest elevation the generator produces; the paper sets 5000 histogram
+/// bins because "the majority of raster cells have values less than 5000".
+pub const MAX_ELEVATION: u16 = 4999;
+
+// ---------------------------------------------------------------------------
+// Deterministic value-noise terrain
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash a lattice corner to [0, 1).
+#[inline]
+fn lattice(seed: u64, ix: i64, iy: i64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64((ix as u64) ^ splitmix64(iy as u64 ^ 0xA5A5_5A5A)));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Quintic smoothstep (C2-continuous), the standard value-noise fade.
+#[inline]
+fn fade(t: f64) -> f64 {
+    t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+}
+
+/// Single-octave value noise in [0, 1).
+#[inline]
+fn value_noise(seed: u64, x: f64, y: f64) -> f64 {
+    let ix = x.floor();
+    let iy = y.floor();
+    let fx = fade(x - ix);
+    let fy = fade(y - iy);
+    let (ix, iy) = (ix as i64, iy as i64);
+    let v00 = lattice(seed, ix, iy);
+    let v10 = lattice(seed, ix + 1, iy);
+    let v01 = lattice(seed, ix, iy + 1);
+    let v11 = lattice(seed, ix + 1, iy + 1);
+    let a = v00 + (v10 - v00) * fx;
+    let b = v01 + (v11 - v01) * fx;
+    a + (b - a) * fy
+}
+
+/// Fractional Brownian motion: `octaves` octaves of value noise, normalized
+/// back to [0, 1).
+pub fn fbm(seed: u64, x: f64, y: f64, octaves: u32, base_freq: f64) -> f64 {
+    let mut sum = 0.0;
+    let mut amp = 1.0;
+    let mut norm = 0.0;
+    let mut freq = base_freq;
+    for o in 0..octaves {
+        sum += amp * value_noise(seed.wrapping_add(o as u64 * 0x9E37), x * freq, y * freq);
+        norm += amp;
+        amp *= 0.5;
+        freq *= 2.0;
+    }
+    sum / norm
+}
+
+const SEED_CONTINENT: u64 = 0x434F_4E54; // "CONT"
+const SEED_TERRAIN: u64 = 0x5445_5252; // "TERR"
+const SEED_RANGE: u64 = 0x524E_4745; // "RNGE"
+const SEED_MICRO: u64 = 0x4D49_4352; // "MICR"
+
+/// Fraction of the continent-noise range treated as water.
+const OCEAN_LEVEL: f64 = 0.40;
+
+/// Elevation (meters) at world point `(x, y)` degrees, or [`NODATA`] over
+/// water. Pure function of `(seed, x, y)` — the same cell evaluates to the
+/// same value no matter which tile, partition or node asks.
+pub fn elevation(seed: u64, x: f64, y: f64) -> u16 {
+    let continent = fbm(seed ^ SEED_CONTINENT, x, y, 3, 0.045);
+    if continent < OCEAN_LEVEL {
+        return NODATA;
+    }
+    // Mountain-range mask: broad, slowly varying amplitude modulation.
+    let range = fbm(seed ^ SEED_RANGE, x, y, 2, 0.09);
+    // Local relief.
+    let terrain = fbm(seed ^ SEED_TERRAIN, x, y, 5, 0.35);
+    // Coastal cells ramp up from sea level; interiors get the full range.
+    let coast = ((continent - OCEAN_LEVEL) / (1.0 - OCEAN_LEVEL)).clamp(0.0, 1.0);
+    let elev = terrain.powf(1.3) * (250.0 + 4300.0 * range * range) * (0.25 + 0.75 * coast);
+    // Cell-scale micro-relief (a few meters): real SRTM is noisy in its low
+    // bits, which is what bounds BQ-Tree compression to ~18% of raw rather
+    // than the ~2% a smooth field would give. Two short-wavelength octaves,
+    // ±6 m total.
+    let micro = (fbm(seed ^ SEED_MICRO, x * 900.0, y * 900.0, 2, 1.0) - 0.5) * 12.0;
+    ((elev + micro).max(0.0) as u32).min(MAX_ELEVATION as u32) as u16
+}
+
+/// A [`TileSource`] generating synthetic SRTM tiles on demand.
+#[derive(Debug, Clone)]
+pub struct SyntheticSrtm {
+    grid: TileGrid,
+    seed: u64,
+}
+
+impl SyntheticSrtm {
+    pub fn new(grid: TileGrid, seed: u64) -> Self {
+        SyntheticSrtm { grid, seed }
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Materialize the whole raster (tests / small workloads only).
+    pub fn to_raster(&self) -> crate::Raster {
+        let rows = self.grid.raster_rows();
+        let cols = self.grid.raster_cols();
+        let gt = *self.grid.transform();
+        let mut r = crate::Raster::from_fn(rows, cols, gt, |row, col| {
+            let p = gt.cell_center(row, col);
+            elevation(self.seed, p.x, p.y)
+        });
+        r = r.with_nodata(NODATA);
+        r
+    }
+}
+
+impl TileSource for SyntheticSrtm {
+    fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    fn tile(&self, tx: usize, ty: usize) -> TileData {
+        let t = self.grid.tile(tx, ty);
+        let gt = self.grid.transform();
+        let mut values = Vec::with_capacity(t.rows * t.cols);
+        for dr in 0..t.rows {
+            for dc in 0..t.cols {
+                let p = gt.cell_center(t.row0 + dr, t.col0 + dc);
+                values.push(elevation(self.seed, p.x, p.y));
+            }
+        }
+        TileData::new(values, t.rows, t.cols)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 catalog
+// ---------------------------------------------------------------------------
+
+/// One source raster of the catalog (a row of the paper's Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CatalogRaster {
+    pub name: &'static str,
+    /// Western edge (degrees).
+    pub lon0: f64,
+    /// Southern edge (degrees).
+    pub lat0: f64,
+    pub width_deg: u32,
+    pub height_deg: u32,
+    /// Partition schema: the raster is split `part_rows × part_cols` ways.
+    pub part_rows: u32,
+    pub part_cols: u32,
+}
+
+impl CatalogRaster {
+    pub fn rows(&self, cells_per_degree: u32) -> usize {
+        (self.height_deg * cells_per_degree) as usize
+    }
+
+    pub fn cols(&self, cells_per_degree: u32) -> usize {
+        (self.width_deg * cells_per_degree) as usize
+    }
+
+    pub fn cells(&self, cells_per_degree: u32) -> u64 {
+        self.rows(cells_per_degree) as u64 * self.cols(cells_per_degree) as u64
+    }
+
+    pub fn n_partitions(&self) -> u32 {
+        self.part_rows * self.part_cols
+    }
+
+    pub fn transform(&self, cells_per_degree: u32) -> GeoTransform {
+        GeoTransform::per_degree(self.lon0, self.lat0, cells_per_degree)
+    }
+
+    pub fn extent(&self) -> Mbr {
+        Mbr::new(
+            self.lon0,
+            self.lat0,
+            self.lon0 + self.width_deg as f64,
+            self.lat0 + self.height_deg as f64,
+        )
+    }
+}
+
+/// The six-raster catalog. Disjoint extents covering CONUS
+/// (−125..−66 × 24..50) plus an 11°×2° northern strip; 1,556 square degrees
+/// total, hence exactly 20,165,760,000 cells at 3600 cells/degree.
+pub const CATALOG: [CatalogRaster; 6] = [
+    CatalogRaster { name: "north-strip", lon0: -125.0, lat0: 50.0, width_deg: 11, height_deg: 2, part_rows: 1, part_cols: 2 },
+    CatalogRaster { name: "west-south", lon0: -125.0, lat0: 24.0, width_deg: 33, height_deg: 16, part_rows: 3, part_cols: 4 },
+    CatalogRaster { name: "west-north-a", lon0: -125.0, lat0: 40.0, width_deg: 16, height_deg: 10, part_rows: 2, part_cols: 2 },
+    CatalogRaster { name: "west-north-b", lon0: -109.0, lat0: 40.0, width_deg: 17, height_deg: 10, part_rows: 2, part_cols: 2 },
+    CatalogRaster { name: "east-south", lon0: -92.0, lat0: 24.0, width_deg: 26, height_deg: 13, part_rows: 1, part_cols: 7 },
+    CatalogRaster { name: "east-north", lon0: -92.0, lat0: 37.0, width_deg: 26, height_deg: 13, part_rows: 7, part_cols: 1 },
+];
+
+/// The catalog at a chosen resolution.
+///
+/// `cells_per_degree = 3600` is the paper's full SRTM scale; experiments use
+/// smaller values (e.g. 225 = 1/16 linear scale) and report full-scale
+/// figures by analytic extrapolation of the per-cell work terms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SrtmCatalog {
+    pub cells_per_degree: u32,
+}
+
+impl SrtmCatalog {
+    /// The paper's native resolution (30 m ≈ 1/3600°).
+    pub const FULL_SCALE: u32 = 3600;
+
+    pub fn new(cells_per_degree: u32) -> Self {
+        assert!(cells_per_degree > 0);
+        SrtmCatalog { cells_per_degree }
+    }
+
+    pub fn full_scale() -> Self {
+        SrtmCatalog::new(Self::FULL_SCALE)
+    }
+
+    pub fn rasters(&self) -> &'static [CatalogRaster] {
+        &CATALOG
+    }
+
+    /// Total cells over all rasters at this resolution.
+    pub fn total_cells(&self) -> u64 {
+        CATALOG.iter().map(|r| r.cells(self.cells_per_degree)).sum()
+    }
+
+    /// Total partitions over all rasters (36, matching the paper).
+    pub fn n_partitions(&self) -> u32 {
+        CATALOG.iter().map(CatalogRaster::n_partitions).sum()
+    }
+
+    /// Union extent of all rasters.
+    pub fn extent(&self) -> Mbr {
+        CATALOG.iter().fold(Mbr::EMPTY, |m, r| m.union(&r.extent()))
+    }
+
+    /// All 36 partitions, in catalog order.
+    pub fn partitions(&self) -> Vec<Partition> {
+        let mut out = Vec::with_capacity(self.n_partitions() as usize);
+        for (idx, raster) in CATALOG.iter().enumerate() {
+            out.extend(crate::partition::split(raster, idx, self.cells_per_degree));
+        }
+        out
+    }
+
+    /// Linear scale factor relative to the paper's full resolution.
+    pub fn scale_factor(&self) -> f64 {
+        Self::FULL_SCALE as f64 / self.cells_per_degree as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_totals_match_paper() {
+        let cat = SrtmCatalog::full_scale();
+        assert_eq!(cat.total_cells(), 20_165_760_000, "Table 1 total cell count");
+        assert_eq!(cat.n_partitions(), 36, "Table 1 partition count");
+        assert_eq!(cat.rasters().len(), 6, "Table 1 raster count");
+    }
+
+    #[test]
+    fn catalog_extents_are_disjoint() {
+        for (i, a) in CATALOG.iter().enumerate() {
+            for b in CATALOG.iter().skip(i + 1) {
+                let inter = a.extent().intersection(&b.extent());
+                assert!(
+                    inter.is_empty() || inter.area() == 0.0,
+                    "{} and {} overlap",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_covers_conus() {
+        let conus = zonal_geo::counties::conus_extent();
+        let cat = SrtmCatalog::full_scale();
+        assert!(cat.extent().contains(&conus), "catalog must cover the county layer");
+        // Area bookkeeping: 1556 square degrees.
+        let area: f64 = CATALOG.iter().map(|r| r.extent().area()).sum();
+        assert!((area - 1556.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_catalog_cells() {
+        // 1/16 linear scale => 1/256 of the cells.
+        let cat = SrtmCatalog::new(225);
+        assert_eq!(cat.total_cells(), 20_165_760_000 / 256);
+        assert_eq!(cat.scale_factor(), 16.0);
+    }
+
+    #[test]
+    fn elevation_is_deterministic_and_bounded() {
+        let mut land = 0;
+        let mut water = 0;
+        for i in 0..50 {
+            for j in 0..50 {
+                let x = -125.0 + i as f64 * 1.18;
+                let y = 24.0 + j as f64 * 0.52;
+                let a = elevation(42, x, y);
+                let b = elevation(42, x, y);
+                assert_eq!(a, b, "deterministic");
+                if a == NODATA {
+                    water += 1;
+                } else {
+                    assert!(a <= MAX_ELEVATION);
+                    land += 1;
+                }
+            }
+        }
+        assert!(land > 0, "some land must exist");
+        assert!(water > 0, "some water must exist");
+        // Mostly land over a continental box.
+        assert!(land * 10 > (land + water) * 4, "land should be a large fraction");
+    }
+
+    #[test]
+    fn elevation_spatially_correlated() {
+        // Adjacent 30 m cells must usually differ by a few meters, not by
+        // hundreds — that's what makes Step 1's atomics collide like real
+        // DEM data.
+        let seed = 7;
+        let step = 1.0 / 3600.0;
+        let mut diffs = Vec::new();
+        for k in 0..2000 {
+            let x = -100.0 + (k % 50) as f64 * 0.01;
+            let y = 35.0 + (k / 50) as f64 * 0.01;
+            let a = elevation(seed, x, y);
+            let b = elevation(seed, x + step, y);
+            if a != NODATA && b != NODATA {
+                diffs.push((a as i32 - b as i32).abs());
+            }
+        }
+        assert!(!diffs.is_empty());
+        let mean = diffs.iter().sum::<i32>() as f64 / diffs.len() as f64;
+        assert!(mean < 30.0, "neighbour elevation delta {mean} too rough");
+    }
+
+    #[test]
+    fn synthetic_tiles_match_full_raster() {
+        let gt = GeoTransform::new(-100.0, 35.0, 0.01, 0.01);
+        let grid = TileGrid::new(25, 30, 8, gt);
+        let src = SyntheticSrtm::new(grid.clone(), 99);
+        let full = src.to_raster();
+        for t in grid.iter() {
+            let tile = src.tile(t.tx, t.ty);
+            for dr in 0..t.rows {
+                for dc in 0..t.cols {
+                    assert_eq!(
+                        tile.get(dr, dc),
+                        full.get(t.row0 + dr, t.col0 + dc),
+                        "tile ({},{}) cell ({dr},{dc})",
+                        t.tx,
+                        t.ty
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fbm_in_unit_range() {
+        for k in 0..500 {
+            let x = (k as f64) * 0.37 - 80.0;
+            let y = (k as f64) * 0.19 + 30.0;
+            let v = fbm(3, x, y, 5, 0.3);
+            assert!((0.0..1.0).contains(&v), "fbm out of range: {v}");
+        }
+    }
+}

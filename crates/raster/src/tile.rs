@@ -1,0 +1,289 @@
+//! Tiling a raster into fixed-size tiles.
+//!
+//! The tile grid plays two roles in the paper's design:
+//!
+//! 1. **work decomposition** — Step 1 assigns one tile per GPU thread block;
+//! 2. **implicit spatial index** — Step 2 rasterizes polygon MBBs onto the
+//!    same grid ("tiles in a raster can naturally serve as a grid-file").
+//!
+//! The paper uses 0.1° × 0.1° tiles, i.e. 360 × 360 cells at SRTM's 1/3600°
+//! resolution; [`TileGrid::for_degree_tile`] reproduces that sizing at any
+//! resolution.
+
+use crate::geotransform::GeoTransform;
+use serde::{Deserialize, Serialize};
+use zonal_geo::Mbr;
+
+/// A raster tiling: `tiles_x × tiles_y` tiles of nominally
+/// `tile_cells × tile_cells` cells (edge tiles may be smaller).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileGrid {
+    raster_rows: usize,
+    raster_cols: usize,
+    tile_cells: usize,
+    tiles_x: usize,
+    tiles_y: usize,
+    transform: GeoTransform,
+}
+
+/// One tile of a [`TileGrid`]: its grid position and cell extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tile {
+    pub tx: usize,
+    pub ty: usize,
+    /// Linear tile id: `ty * tiles_x + tx` (the paper's
+    /// `blockIdx.y * gridDim.x + blockIdx.x`).
+    pub id: usize,
+    /// First cell row covered by the tile.
+    pub row0: usize,
+    /// First cell column covered by the tile.
+    pub col0: usize,
+    pub rows: usize,
+    pub cols: usize,
+}
+
+impl TileGrid {
+    /// Tile a `rows × cols` raster into square tiles of `tile_cells` cells.
+    pub fn new(rows: usize, cols: usize, tile_cells: usize, transform: GeoTransform) -> Self {
+        assert!(tile_cells > 0, "tile size must be positive");
+        assert!(rows > 0 && cols > 0, "raster must be non-empty");
+        TileGrid {
+            raster_rows: rows,
+            raster_cols: cols,
+            tile_cells,
+            tiles_x: cols.div_ceil(tile_cells),
+            tiles_y: rows.div_ceil(tile_cells),
+            transform,
+        }
+    }
+
+    /// Tile so each tile spans `tile_deg` degrees (the paper's 0.1°),
+    /// rounded to whole cells (at least 1).
+    pub fn for_degree_tile(rows: usize, cols: usize, tile_deg: f64, transform: GeoTransform) -> Self {
+        let cells = ((tile_deg / transform.sx).round() as usize).max(1);
+        TileGrid::new(rows, cols, cells, transform)
+    }
+
+    #[inline]
+    pub fn raster_rows(&self) -> usize {
+        self.raster_rows
+    }
+
+    #[inline]
+    pub fn raster_cols(&self) -> usize {
+        self.raster_cols
+    }
+
+    /// Nominal tile edge length in cells.
+    #[inline]
+    pub fn tile_cells(&self) -> usize {
+        self.tile_cells
+    }
+
+    #[inline]
+    pub fn tiles_x(&self) -> usize {
+        self.tiles_x
+    }
+
+    #[inline]
+    pub fn tiles_y(&self) -> usize {
+        self.tiles_y
+    }
+
+    /// Total tile count.
+    #[inline]
+    pub fn n_tiles(&self) -> usize {
+        self.tiles_x * self.tiles_y
+    }
+
+    #[inline]
+    pub fn transform(&self) -> &GeoTransform {
+        &self.transform
+    }
+
+    /// Linear tile id of `(tx, ty)`.
+    #[inline]
+    pub fn tile_id(&self, tx: usize, ty: usize) -> usize {
+        debug_assert!(tx < self.tiles_x && ty < self.tiles_y);
+        ty * self.tiles_x + tx
+    }
+
+    /// Inverse of [`TileGrid::tile_id`].
+    #[inline]
+    pub fn tile_pos(&self, id: usize) -> (usize, usize) {
+        debug_assert!(id < self.n_tiles());
+        (id % self.tiles_x, id / self.tiles_x)
+    }
+
+    /// First cell `(row, col)` of tile `(tx, ty)`.
+    #[inline]
+    pub fn tile_origin_cell(&self, tx: usize, ty: usize) -> (usize, usize) {
+        (ty * self.tile_cells, tx * self.tile_cells)
+    }
+
+    /// Cell shape `(rows, cols)` of tile `(tx, ty)`, clipped at raster edges.
+    #[inline]
+    pub fn tile_shape(&self, tx: usize, ty: usize) -> (usize, usize) {
+        let (row0, col0) = self.tile_origin_cell(tx, ty);
+        (
+            self.tile_cells.min(self.raster_rows - row0),
+            self.tile_cells.min(self.raster_cols - col0),
+        )
+    }
+
+    /// Full [`Tile`] descriptor.
+    pub fn tile(&self, tx: usize, ty: usize) -> Tile {
+        let (row0, col0) = self.tile_origin_cell(tx, ty);
+        let (rows, cols) = self.tile_shape(tx, ty);
+        Tile { tx, ty, id: self.tile_id(tx, ty), row0, col0, rows, cols }
+    }
+
+    /// World-space box of tile `(tx, ty)`.
+    pub fn tile_mbr(&self, tx: usize, ty: usize) -> Mbr {
+        let t = self.tile(tx, ty);
+        let gt = &self.transform;
+        Mbr::new(
+            gt.x0 + t.col0 as f64 * gt.sx,
+            gt.y0 + t.row0 as f64 * gt.sy,
+            gt.x0 + (t.col0 + t.cols) as f64 * gt.sx,
+            gt.y0 + (t.row0 + t.rows) as f64 * gt.sy,
+        )
+    }
+
+    /// Iterate all tiles in row-major tile order.
+    pub fn iter(&self) -> impl Iterator<Item = Tile> + '_ {
+        (0..self.n_tiles()).map(move |id| {
+            let (tx, ty) = self.tile_pos(id);
+            self.tile(tx, ty)
+        })
+    }
+
+    /// Rasterize a world-space box onto the tile grid: the inclusive tile
+    /// index ranges `(tx0..=tx1, ty0..=ty1)` of tiles whose closed boxes
+    /// intersect `mbr`, or `None` when the box misses the raster entirely.
+    ///
+    /// This is Step 2's "MBB rasterization": decomposing a polygon MBB into
+    /// candidate tiles.
+    pub fn tiles_overlapping(&self, mbr: &Mbr) -> Option<(std::ops::RangeInclusive<usize>, std::ops::RangeInclusive<usize>)> {
+        if mbr.is_empty() {
+            return None;
+        }
+        let gt = &self.transform;
+        let tile_w = self.tile_cells as f64 * gt.sx;
+        let tile_h = self.tile_cells as f64 * gt.sy;
+        let fx0 = (mbr.min_x - gt.x0) / tile_w;
+        let fx1 = (mbr.max_x - gt.x0) / tile_w;
+        let fy0 = (mbr.min_y - gt.y0) / tile_h;
+        let fy1 = (mbr.max_y - gt.y0) / tile_h;
+        if fx1 < 0.0 || fy1 < 0.0 || fx0 >= self.tiles_x as f64 || fy0 >= self.tiles_y as f64 {
+            return None;
+        }
+        let tx0 = fx0.floor().max(0.0) as usize;
+        let ty0 = fy0.floor().max(0.0) as usize;
+        let tx1 = (fx1.floor() as usize).min(self.tiles_x - 1);
+        let ty1 = (fy1.floor() as usize).min(self.tiles_y - 1);
+        Some((tx0..=tx1, ty0..=ty1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> TileGrid {
+        // 25 × 33 raster, tiles of 10 => 3 × 4 tiles with ragged edges.
+        TileGrid::new(25, 33, 10, GeoTransform::new(0.0, 0.0, 0.1, 0.1))
+    }
+
+    #[test]
+    fn tile_counts() {
+        let g = grid();
+        assert_eq!(g.tiles_x(), 4);
+        assert_eq!(g.tiles_y(), 3);
+        assert_eq!(g.n_tiles(), 12);
+    }
+
+    #[test]
+    fn id_roundtrip() {
+        let g = grid();
+        for id in 0..g.n_tiles() {
+            let (tx, ty) = g.tile_pos(id);
+            assert_eq!(g.tile_id(tx, ty), id);
+        }
+    }
+
+    #[test]
+    fn ragged_edge_tiles() {
+        let g = grid();
+        assert_eq!(g.tile_shape(0, 0), (10, 10));
+        assert_eq!(g.tile_shape(3, 0), (10, 3), "last column is 33 - 30 = 3 wide");
+        assert_eq!(g.tile_shape(0, 2), (5, 10), "last row is 25 - 20 = 5 tall");
+        assert_eq!(g.tile_shape(3, 2), (5, 3));
+    }
+
+    #[test]
+    fn tiles_cover_raster_exactly() {
+        let g = grid();
+        let total: usize = g.iter().map(|t| t.rows * t.cols).sum();
+        assert_eq!(total, 25 * 33);
+    }
+
+    #[test]
+    fn tile_mbrs_tile_the_extent() {
+        let g = grid();
+        let ext = g.transform().extent(25, 33);
+        let area: f64 = (0..g.tiles_y())
+            .flat_map(|ty| (0..g.tiles_x()).map(move |tx| (tx, ty)))
+            .map(|(tx, ty)| g.tile_mbr(tx, ty).area())
+            .sum();
+        assert!((area - ext.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_tiles_match_paper_sizing() {
+        // SRTM resolution: 3600 cells/degree; 0.1° tiles => 360 cells.
+        let gt = GeoTransform::per_degree(-125.0, 24.0, 3600);
+        let g = TileGrid::for_degree_tile(7200, 7200, 0.1, gt);
+        assert_eq!(g.tile_cells(), 360);
+        assert_eq!(g.tiles_x(), 20);
+        assert_eq!(g.tiles_y(), 20);
+    }
+
+    #[test]
+    fn overlap_basic() {
+        let g = grid(); // world extent 3.3 x 2.5, tiles of 1.0
+        let (xs, ys) = g.tiles_overlapping(&Mbr::new(0.5, 0.5, 1.5, 1.5)).unwrap();
+        assert_eq!((xs, ys), (0..=1, 0..=1));
+    }
+
+    #[test]
+    fn overlap_clamps_to_grid() {
+        let g = grid();
+        let (xs, ys) = g.tiles_overlapping(&Mbr::new(-5.0, -5.0, 50.0, 50.0)).unwrap();
+        assert_eq!((xs, ys), (0..=3, 0..=2));
+    }
+
+    #[test]
+    fn overlap_miss() {
+        let g = grid();
+        assert!(g.tiles_overlapping(&Mbr::new(10.0, 10.0, 11.0, 11.0)).is_none());
+        assert!(g.tiles_overlapping(&Mbr::new(-2.0, 0.0, -1.0, 1.0)).is_none());
+        assert!(g.tiles_overlapping(&Mbr::EMPTY).is_none());
+    }
+
+    #[test]
+    fn overlap_is_conservative() {
+        // Every tile reported must actually intersect, and every tile that
+        // intersects must be reported.
+        let g = grid();
+        let query = Mbr::new(0.95, 1.05, 2.05, 1.95);
+        let (xs, ys) = g.tiles_overlapping(&query).unwrap();
+        for ty in 0..g.tiles_y() {
+            for tx in 0..g.tiles_x() {
+                let reported = xs.contains(&tx) && ys.contains(&ty);
+                let actual = g.tile_mbr(tx, ty).intersects(&query);
+                assert_eq!(reported, actual, "tile ({tx},{ty})");
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Synthetic temporal raster fields (GOES-R-style observation streams).
+//!
+//! The paper's introduction motivates zonal histogramming with the next
+//! generation of geostationary weather satellites: GOES-R "generates 288
+//! global coverages everyday for each of its 16 bands". This module
+//! provides a deterministic stand-in for such a stream: a scalar field
+//! (think brightness temperature) that evolves smoothly across epochs via
+//! keyframe interpolation plus advecting weather systems, over the same
+//! CONUS geometry and tiling as the elevation experiments.
+
+use crate::srtm::{fbm, NODATA};
+use crate::tile::TileGrid;
+use crate::{TileData, TileSource};
+
+/// Largest field value the generator produces (bin count caps here).
+pub const MAX_FIELD: u16 = 1999;
+
+const SEED_BASE: u64 = 0x4241_5345; // "BASE"
+const SEED_WEATHER: u64 = 0x5745_4154; // "WEAT"
+const SEED_KEY: u64 = 0x4B45_5946; // "KEYF"
+
+/// Epochs per keyframe: the field interpolates between independent noise
+/// keyframes this many epochs apart, so consecutive epochs are highly
+/// correlated (like half-hourly satellite scans) while distant ones are
+/// independent.
+const EPOCHS_PER_KEYFRAME: u32 = 8;
+
+/// Field value at `(x, y)` degrees and integer `epoch`, or [`NODATA`] over
+/// water. Pure function of `(seed, epoch, x, y)`.
+pub fn field(seed: u64, epoch: u32, x: f64, y: f64) -> u16 {
+    // Reuse the terrain generator's continent mask so land/water match the
+    // elevation experiments at the same seed.
+    let continent = fbm(seed ^ 0x434F_4E54, x, y, 3, 0.045);
+    if continent < 0.40 {
+        return NODATA;
+    }
+    // Static climatology: latitudinal gradient plus regional texture.
+    let base = fbm(seed ^ SEED_BASE, x, y, 3, 0.08);
+    let latitudinal = ((52.0 - y) / 30.0).clamp(0.0, 1.0);
+
+    // Keyframe interpolation: two independent weather fields blended by
+    // the epoch phase, with the whole pattern advecting eastward.
+    let key = epoch / EPOCHS_PER_KEYFRAME;
+    let phase = (epoch % EPOCHS_PER_KEYFRAME) as f64 / EPOCHS_PER_KEYFRAME as f64;
+    let drift = epoch as f64 * 0.15; // degrees of eastward advection/epoch
+    let w0 = fbm(seed ^ SEED_WEATHER ^ (key as u64), x - drift, y, 4, 0.25);
+    let w1 = fbm(seed ^ SEED_WEATHER ^ (key as u64 + 1), x - drift, y, 4, 0.25);
+    let weather = w0 + (w1 - w0) * phase;
+
+    // Diurnal-style oscillation shared across space.
+    let cycle = 0.5 + 0.5 * (epoch as f64 * std::f64::consts::TAU / 24.0).sin();
+    let hash_term = fbm(seed ^ SEED_KEY, x * 37.0, y * 37.0, 2, 1.0); // cell-scale texture
+
+    let v = 400.0 * latitudinal
+        + 500.0 * base
+        + 700.0 * weather
+        + 250.0 * cycle
+        + 30.0 * hash_term;
+    (v as u32).min(MAX_FIELD as u32) as u16
+}
+
+/// A [`TileSource`] serving one epoch of the field.
+#[derive(Debug, Clone)]
+pub struct EpochSource {
+    grid: TileGrid,
+    seed: u64,
+    epoch: u32,
+}
+
+impl EpochSource {
+    pub fn new(grid: TileGrid, seed: u64, epoch: u32) -> Self {
+        EpochSource { grid, seed, epoch }
+    }
+
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+}
+
+impl TileSource for EpochSource {
+    fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    fn tile(&self, tx: usize, ty: usize) -> TileData {
+        let t = self.grid.tile(tx, ty);
+        let gt = self.grid.transform();
+        let mut values = Vec::with_capacity(t.rows * t.cols);
+        for dr in 0..t.rows {
+            for dc in 0..t.cols {
+                let p = gt.cell_center(t.row0 + dr, t.col0 + dc);
+                values.push(field(self.seed, self.epoch, p.x, p.y));
+            }
+        }
+        TileData::new(values, t.rows, t.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geotransform::GeoTransform;
+
+    #[test]
+    fn deterministic_and_bounded() {
+        for epoch in [0u32, 7, 100] {
+            let a = field(5, epoch, -100.0, 40.0);
+            let b = field(5, epoch, -100.0, 40.0);
+            assert_eq!(a, b);
+            assert!(a == NODATA || a <= MAX_FIELD);
+        }
+    }
+
+    #[test]
+    fn consecutive_epochs_correlated_distant_not() {
+        // Mean |delta| between epochs t and t+1 must be much smaller than
+        // between t and t+40 (different keyframes + drift).
+        let mut near = Vec::new();
+        let mut far = Vec::new();
+        for k in 0..400 {
+            let x = -110.0 + (k % 20) as f64 * 1.3;
+            let y = 30.0 + (k / 20) as f64 * 0.9;
+            let v0 = field(3, 10, x, y);
+            let v1 = field(3, 11, x, y);
+            let v40 = field(3, 50, x, y);
+            if v0 != NODATA && v1 != NODATA && v40 != NODATA {
+                near.push((v0 as i32 - v1 as i32).abs());
+                far.push((v0 as i32 - v40 as i32).abs());
+            }
+        }
+        assert!(near.len() > 100, "need land samples");
+        let mean = |v: &[i32]| v.iter().sum::<i32>() as f64 / v.len() as f64;
+        assert!(
+            mean(&near) * 2.0 < mean(&far),
+            "near {} vs far {}",
+            mean(&near),
+            mean(&far)
+        );
+    }
+
+    #[test]
+    fn water_mask_matches_elevation() {
+        for k in 0..200 {
+            let x = -120.0 + (k % 14) as f64 * 3.9;
+            let y = 25.0 + (k / 14) as f64 * 1.7;
+            let land_elev = crate::srtm::elevation(9, x, y) != NODATA;
+            let land_field = field(9, 3, x, y) != NODATA;
+            assert_eq!(land_elev, land_field, "at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn epoch_source_serves_tiles() {
+        let gt = GeoTransform::new(-100.0, 35.0, 0.05, 0.05);
+        let grid = TileGrid::new(20, 20, 10, gt);
+        let src = EpochSource::new(grid.clone(), 7, 12);
+        assert_eq!(src.epoch(), 12);
+        let tile = src.tile(1, 1);
+        assert_eq!(tile.rows, 10);
+        let p = gt.cell_center(10, 10);
+        assert_eq!(tile.get(0, 0), field(7, 12, p.x, p.y));
+    }
+}

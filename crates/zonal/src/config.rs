@@ -1,0 +1,121 @@
+//! Pipeline configuration.
+
+use crate::representative::CellRepresentative;
+use serde::Serialize;
+use zonal_gpusim::DeviceSpec;
+
+/// Knobs of the four-step pipeline, with the paper's defaults.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PipelineConfig {
+    /// Tile edge length in degrees (paper §III.A: "we empirically set the
+    /// tile size to 0.1 by 0.1 degree").
+    pub tile_deg: f64,
+    /// Histogram bins (paper: 5000, since "the majority of raster cells
+    /// have values less than 5000").
+    pub n_bins: usize,
+    /// Threads per block in the simulated kernels (paper example: 256).
+    /// Affects work accounting and the SIMT-emulation tests, not results.
+    pub block_dim: usize,
+    /// Simulated device the cost model prices kernels on.
+    pub device: DeviceSpec,
+    /// Number of tile rows decoded and processed per streaming strip.
+    /// Memory high-water mark is `strip_rows × tiles_x × n_bins × 4` bytes
+    /// of per-tile histograms.
+    pub strip_rows: usize,
+    /// Which point(s) represent a cell in Step 4's tests (paper §III.D;
+    /// default: cell centers).
+    pub representative: CellRepresentative,
+}
+
+impl PipelineConfig {
+    /// The paper's configuration on a given device.
+    pub fn paper(device: DeviceSpec) -> Self {
+        PipelineConfig {
+            tile_deg: 0.1,
+            n_bins: 5000,
+            block_dim: 256,
+            device,
+            strip_rows: 4,
+            representative: CellRepresentative::Center,
+        }
+    }
+
+    /// A small configuration for unit tests.
+    pub fn test() -> Self {
+        PipelineConfig {
+            tile_deg: 0.5,
+            n_bins: 256,
+            block_dim: 32,
+            device: DeviceSpec::gtx_titan(),
+            strip_rows: 2,
+            representative: CellRepresentative::Center,
+        }
+    }
+
+    pub fn with_device(mut self, device: DeviceSpec) -> Self {
+        self.device = device;
+        self
+    }
+
+    pub fn with_bins(mut self, n_bins: usize) -> Self {
+        self.n_bins = n_bins;
+        self
+    }
+
+    pub fn with_tile_deg(mut self, tile_deg: f64) -> Self {
+        self.tile_deg = tile_deg;
+        self
+    }
+
+    pub fn with_representative(mut self, representative: CellRepresentative) -> Self {
+        self.representative = representative;
+        self
+    }
+
+    /// Validate invariants; called by the pipeline entry points.
+    pub fn validate(&self) {
+        assert!(self.tile_deg > 0.0, "tile_deg must be positive");
+        assert!(self.n_bins > 0, "need at least one bin");
+        assert!(self.n_bins <= u16::MAX as usize, "bins beyond u16 value range are unreachable");
+        assert!(self.block_dim > 0, "block_dim must be positive");
+        assert!(self.strip_rows > 0, "strip_rows must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = PipelineConfig::paper(DeviceSpec::gtx_titan());
+        assert_eq!(c.tile_deg, 0.1);
+        assert_eq!(c.n_bins, 5000);
+        assert_eq!(c.block_dim, 256);
+        c.validate();
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = PipelineConfig::test()
+            .with_bins(100)
+            .with_tile_deg(0.25)
+            .with_device(DeviceSpec::quadro_6000());
+        assert_eq!(c.n_bins, 100);
+        assert_eq!(c.tile_deg, 0.25);
+        assert_eq!(c.device.name, "Quadro 6000");
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        PipelineConfig::test().with_bins(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "tile_deg")]
+    fn zero_tile_rejected() {
+        PipelineConfig::test().with_tile_deg(0.0).validate();
+    }
+}

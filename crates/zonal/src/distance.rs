@@ -1,0 +1,224 @@
+//! Histogram distance measures.
+//!
+//! The paper's introduction motivates zonal histograms as "feature vectors
+//! for more sophisticated analysis, such as computing various distance
+//! measurements which can be used for subsequent clustering". This module
+//! provides the standard measures over zone histograms; [`crate::zone_cluster`]
+//! builds the clustering on top.
+//!
+//! All measures accept raw `u64` count histograms of equal length and are
+//! insensitive to total count where the definition calls for it (the
+//! probability-based measures normalize internally; the norm-based ones do
+//! not, by definition).
+
+/// L1 (Manhattan) distance between raw count histograms.
+pub fn l1(a: &[u64], b: &[u64]) -> f64 {
+    check(a, b);
+    a.iter().zip(b).map(|(&x, &y)| (x as f64 - y as f64).abs()).sum()
+}
+
+/// L2 (Euclidean) distance between raw count histograms.
+pub fn l2(a: &[u64], b: &[u64]) -> f64 {
+    check(a, b);
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Symmetric chi-square distance over normalized histograms:
+/// `½ Σ (p−q)² / (p+q)` (bins empty in both are skipped).
+pub fn chi_square(a: &[u64], b: &[u64]) -> f64 {
+    check(a, b);
+    let (p, q) = (normalize(a), normalize(b));
+    let mut s = 0.0;
+    for (x, y) in p.iter().zip(&q) {
+        let denom = x + y;
+        if denom > 0.0 {
+            let d = x - y;
+            s += d * d / denom;
+        }
+    }
+    0.5 * s
+}
+
+/// Jensen–Shannon *distance* (square root of the JS divergence, base 2):
+/// a metric in [0, 1].
+pub fn jensen_shannon(a: &[u64], b: &[u64]) -> f64 {
+    check(a, b);
+    let (p, q) = (normalize(a), normalize(b));
+    let mut div = 0.0;
+    for (x, y) in p.iter().zip(&q) {
+        let m = 0.5 * (x + y);
+        if *x > 0.0 {
+            div += 0.5 * x * (x / m).log2();
+        }
+        if *y > 0.0 {
+            div += 0.5 * y * (y / m).log2();
+        }
+    }
+    div.max(0.0).sqrt()
+}
+
+/// 1-D Earth Mover's Distance (Wasserstein-1) between normalized
+/// histograms, in bin-width units: `Σ |CDF_p − CDF_q|`. Natural for
+/// ordered-value histograms like elevation.
+pub fn emd1d(a: &[u64], b: &[u64]) -> f64 {
+    check(a, b);
+    let (p, q) = (normalize(a), normalize(b));
+    let mut cum = 0.0;
+    let mut total = 0.0;
+    for (x, y) in p.iter().zip(&q) {
+        cum += x - y;
+        total += cum.abs();
+    }
+    total
+}
+
+/// Cosine distance `1 − cos(a, b)` over raw counts; 0 for parallel
+/// histograms, and defined as 1 when either histogram is empty.
+pub fn cosine(a: &[u64], b: &[u64]) -> f64 {
+    check(a, b);
+    let dot: f64 = a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum();
+    let na: f64 = a.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|&y| (y as f64) * (y as f64)).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    (1.0 - dot / (na * nb)).clamp(0.0, 1.0)
+}
+
+/// The measures, as an enum for table-driven callers (benches, clustering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Measure {
+    L1,
+    L2,
+    ChiSquare,
+    JensenShannon,
+    Emd1d,
+    Cosine,
+}
+
+impl Measure {
+    pub fn eval(self, a: &[u64], b: &[u64]) -> f64 {
+        match self {
+            Measure::L1 => l1(a, b),
+            Measure::L2 => l2(a, b),
+            Measure::ChiSquare => chi_square(a, b),
+            Measure::JensenShannon => jensen_shannon(a, b),
+            Measure::Emd1d => emd1d(a, b),
+            Measure::Cosine => cosine(a, b),
+        }
+    }
+
+    pub const ALL: [Measure; 6] = [
+        Measure::L1,
+        Measure::L2,
+        Measure::ChiSquare,
+        Measure::JensenShannon,
+        Measure::Emd1d,
+        Measure::Cosine,
+    ];
+}
+
+fn check(a: &[u64], b: &[u64]) {
+    assert_eq!(a.len(), b.len(), "histogram length mismatch");
+}
+
+fn normalize(h: &[u64]) -> Vec<f64> {
+    let total: u64 = h.iter().sum();
+    if total == 0 {
+        return vec![0.0; h.len()];
+    }
+    h.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [u64; 4] = [4, 0, 0, 0];
+    const B: [u64; 4] = [0, 0, 0, 4];
+    const C: [u64; 4] = [2, 2, 0, 0];
+
+    #[test]
+    fn identity_of_indiscernibles() {
+        for m in Measure::ALL {
+            assert_eq!(m.eval(&A, &A), 0.0, "{m:?}");
+            assert!(m.eval(&A, &B) > 0.0, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        for m in Measure::ALL {
+            let ab = m.eval(&A, &B);
+            let ba = m.eval(&B, &A);
+            assert!((ab - ba).abs() < 1e-12, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn l1_l2_known_values() {
+        assert_eq!(l1(&A, &B), 8.0);
+        assert_eq!(l2(&A, &B), (32.0f64).sqrt());
+        assert_eq!(l1(&A, &C), 2.0 + 2.0);
+    }
+
+    #[test]
+    fn chi_square_bounds() {
+        // Disjoint supports: chi² = 1 (maximum for the symmetric form).
+        assert!((chi_square(&A, &B) - 1.0).abs() < 1e-12);
+        assert!(chi_square(&A, &C) < 1.0);
+    }
+
+    #[test]
+    fn js_bounds_and_scale_invariance() {
+        assert!((jensen_shannon(&A, &B) - 1.0).abs() < 1e-9, "disjoint => 1");
+        // Scaling counts doesn't change the probability-based measure.
+        let a10: Vec<u64> = A.iter().map(|&x| x * 10).collect();
+        assert!((jensen_shannon(&a10, &B) - jensen_shannon(&A, &B)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_reflects_bin_displacement() {
+        // Moving all mass 3 bins costs 3; 1 bin costs 1.
+        let shifted1 = [0u64, 4, 0, 0];
+        assert!((emd1d(&A, &B) - 3.0).abs() < 1e-12);
+        assert!((emd1d(&A, &shifted1) - 1.0).abs() < 1e-12);
+        // EMD sees ordering; chi-square doesn't.
+        assert!(emd1d(&A, &shifted1) < emd1d(&A, &B));
+        assert!((chi_square(&A, &shifted1) - chi_square(&A, &B)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_parallel_and_empty() {
+        let a2: Vec<u64> = A.iter().map(|&x| x * 7).collect();
+        assert!(cosine(&A, &a2) < 1e-12, "parallel => 0");
+        assert_eq!(cosine(&A, &[0, 0, 0, 0]), 1.0, "empty => 1 by convention");
+    }
+
+    #[test]
+    fn triangle_inequality_js_sampled() {
+        // JS distance is a metric; spot-check the triangle inequality.
+        let hists: [[u64; 4]; 4] = [[4, 0, 0, 0], [1, 1, 1, 1], [0, 2, 2, 0], [0, 0, 1, 3]];
+        for x in &hists {
+            for y in &hists {
+                for z in &hists {
+                    let d = |a: &[u64], b: &[u64]| jensen_shannon(a, b);
+                    assert!(d(x, z) <= d(x, y) + d(y, z) + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = l1(&[1, 2], &[1, 2, 3]);
+    }
+}

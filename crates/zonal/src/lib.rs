@@ -1,0 +1,57 @@
+//! Zonal histogramming: the paper's primary contribution.
+//!
+//! Given a polygon layer (zones) and a raster, compute for every zone a
+//! histogram of the raster values whose cell centers fall inside the zone.
+//! The four-step data-parallel decomposition (paper §III, Fig. 1):
+//!
+//! * **Step 0** ([`pipeline`]) — decode BQ-Tree-compressed raster tiles;
+//! * **Step 1** ([`step1`]) — one thread block per tile builds a per-tile
+//!   histogram with atomic bin updates (Fig. 2);
+//! * **Step 2** ([`pairing`]) — rasterize polygon MBBs onto the tile grid
+//!   and classify each (polygon, tile) pair as outside / inside /
+//!   intersect; post-process with Thrust-style primitives into grouped
+//!   arrays (Fig. 4 left);
+//! * **Step 3** ([`step3`]) — for tiles completely inside a polygon, add
+//!   the per-tile histogram into the per-polygon histogram wholesale
+//!   (Fig. 4 right);
+//! * **Step 4** ([`step4`]) — for boundary tiles only, run a ray-crossing
+//!   cell-in-polygon test per cell and update the polygon histogram
+//!   (Fig. 5).
+//!
+//! The crate also provides reference implementations ([`baseline`]) used
+//! both as correctness oracles and as the comparison points of the
+//! ablation benches, and classic zonal statistics ([`stats`]) derived from
+//! the histograms.
+//!
+//! The pipeline streams tiles in row strips, so memory stays bounded by
+//! `strip_tiles × n_bins` regardless of raster size — the same reason the
+//! paper processes its 20-billion-cell raster as 36 sub-rasters.
+
+pub mod baseline;
+pub mod config;
+pub mod distance;
+pub mod hist;
+pub mod multiband;
+pub mod pairing;
+pub mod pipeline;
+pub mod representative;
+pub mod stats;
+pub mod step1;
+pub mod step3;
+pub mod step4;
+pub mod temporal;
+pub mod timing;
+pub mod weighted;
+pub mod zone_cluster;
+
+pub use config::PipelineConfig;
+pub use hist::ZoneHistograms;
+pub use pairing::{pair_tiles, pair_tiles_quadtree, GroupedPairs, PairTable};
+pub use multiband::{run_bands, MultiBandResult};
+pub use pipeline::{run_partition, run_partitions, ZonalResult};
+pub use representative::CellRepresentative;
+pub use stats::{zonal_statistics, ZonalStats};
+pub use temporal::{detect_anomalies, run_epochs, TemporalResult};
+pub use zone_cluster::{kmedoids, ZoneClustering};
+pub use timing::{PipelineCounts, PipelineTimings, StepTiming};
+pub use weighted::{run_weighted, WeightedZoneHistograms};

@@ -1,0 +1,352 @@
+//! The four-step pipeline, orchestrated over streaming tile strips.
+//!
+//! A partition's tiles are processed in bands of `strip_rows` tile rows:
+//! each strip is decoded (Step 0), histogrammed per tile (Step 1), its
+//! inside pairs aggregated (Step 3) and its boundary pairs refined
+//! (Step 4), after which the strip's tile data and histograms are dropped.
+//! Step 2 runs once per partition up front — it only needs geometry.
+//! Peak memory is therefore bounded by the strip size regardless of raster
+//! size, the same property that lets the paper stream a 40 GB raster
+//! through a 6 GB GPU.
+
+use crate::config::PipelineConfig;
+use crate::hist::ZoneHistograms;
+use crate::pairing::{pair_tiles, PairTable};
+use crate::step1::per_tile_histograms;
+use crate::step3::aggregate_inside;
+use crate::step4::refine_intersect;
+use crate::timing::{PipelineCounts, PipelineTimings};
+use std::time::Instant;
+use zonal_geo::{FlatPolygons, PolygonLayer};
+use zonal_gpusim::{exec, WorkCounter};
+use zonal_raster::TileSource;
+
+/// Estimated decode arithmetic per cell (bitplane scatter + tree walk
+/// amortized): the constant the cost model prices Step 0 with.
+pub const DECODE_FLOPS_PER_CELL: u64 = 32;
+
+/// A zone layer in both representations the pipeline needs: object polygons
+/// for Step 2's exact classification, flattened arrays for Step 4's kernel.
+#[derive(Debug, Clone)]
+pub struct Zones {
+    pub layer: PolygonLayer,
+    pub flat: FlatPolygons,
+}
+
+impl Zones {
+    pub fn new(layer: PolygonLayer) -> Self {
+        let flat = layer.to_flat();
+        Zones { layer, flat }
+    }
+
+    pub fn len(&self) -> usize {
+        self.layer.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.layer.is_empty()
+    }
+
+    /// Host→device bytes for the polygon arrays (x, y as f64 plus the
+    /// prefix index), part of the end-to-end transfer accounting.
+    pub fn device_bytes(&self) -> u64 {
+        (self.flat.slot_count() * 16 + self.flat.ply_v.len() * 4) as u64
+    }
+}
+
+/// Output of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct ZonalResult {
+    pub hists: ZoneHistograms,
+    pub timings: PipelineTimings,
+    pub counts: PipelineCounts,
+}
+
+impl ZonalResult {
+    /// Merge another run's result (other partitions of the same layer).
+    pub fn merge(&mut self, other: &ZonalResult) {
+        self.hists.merge(&other.hists);
+        self.timings.accumulate(&other.timings);
+        self.counts.accumulate(&other.counts);
+    }
+}
+
+/// Run the pipeline for one raster partition.
+///
+/// ```
+/// use zonal_core::pipeline::{run_partition, Zones};
+/// use zonal_core::PipelineConfig;
+/// use zonal_geo::{Polygon, PolygonLayer};
+/// use zonal_raster::{GeoTransform, Raster, TileGrid};
+///
+/// // Two zones splitting a 4x4-unit world; a raster whose value is its column.
+/// let zones = Zones::new(PolygonLayer::from_polygons(vec![
+///     Polygon::rect(0.0, 0.0, 2.0, 4.0),
+///     Polygon::rect(2.0, 0.0, 4.0, 4.0),
+/// ]));
+/// let gt = GeoTransform::new(0.0, 0.0, 0.5, 0.5);
+/// let raster = Raster::from_fn(8, 8, gt, |_r, c| c as u16);
+/// let grid = TileGrid::new(8, 8, 4, gt);
+///
+/// let cfg = PipelineConfig::test().with_bins(8).with_tile_deg(2.0);
+/// let result = run_partition(&cfg, &zones, &raster.tile_source(&grid));
+///
+/// // Zone 0 holds columns 0..4, one 8-cell column per value.
+/// assert_eq!(result.hists.zone(0), &[8, 8, 8, 8, 0, 0, 0, 0]);
+/// assert_eq!(result.hists.total(), 64);
+/// ```
+pub fn run_partition(
+    cfg: &PipelineConfig,
+    zones: &Zones,
+    source: &impl TileSource,
+) -> ZonalResult {
+    cfg.validate();
+    let grid = source.grid();
+    let n_zones = zones.len();
+    let n_bins = cfg.n_bins;
+
+    let mut timings = PipelineTimings::new(cfg.device);
+    let mut counts = PipelineCounts { n_tiles: grid.n_tiles() as u64, ..Default::default() };
+
+    // ----- Step 2: spatial filtering (CPU-side, geometry only) -----------
+    let t2 = Instant::now();
+    let pairs: PairTable = pair_tiles(&zones.layer, grid);
+    timings.steps[2].wall_secs = t2.elapsed().as_secs_f64();
+    counts.inside_pairs = pairs.inside.n_pairs() as u64;
+    counts.intersect_pairs = pairs.intersect.n_pairs() as u64;
+    counts.outside_pairs = pairs.n_outside;
+
+    // Bucket pairs by strip so each strip touches only resident tiles.
+    let tiles_x = grid.tiles_x();
+    let tiles_y = grid.tiles_y();
+    let n_strips = tiles_y.div_ceil(cfg.strip_rows);
+    let strip_of = |tid: u32| (tid as usize / tiles_x) / cfg.strip_rows;
+    let mut inside_by_strip: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_strips];
+    for (pid, tid) in pairs.inside.iter_pairs() {
+        inside_by_strip[strip_of(tid)].push((pid, tid));
+    }
+    let mut intersect_by_strip: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_strips];
+    for (pid, tid) in pairs.intersect.iter_pairs() {
+        intersect_by_strip[strip_of(tid)].push((pid, tid));
+    }
+
+    let zone_buf = ZoneHistograms::device_buffer(n_zones, n_bins);
+    let s0_cell = WorkCounter::new();
+    let s1_cell = WorkCounter::new();
+    let s1_fixed = WorkCounter::new();
+    let s3_fixed = WorkCounter::new();
+    let s4_cell = WorkCounter::new();
+
+    for strip in 0..n_strips {
+        let ty0 = strip * cfg.strip_rows;
+        let ty1 = (ty0 + cfg.strip_rows).min(tiles_y);
+        let first_tid = ty0 * tiles_x;
+        let strip_tiles = (ty1 - ty0) * tiles_x;
+
+        // ----- Step 0: decode the strip's tiles --------------------------
+        let t0 = Instant::now();
+        let tiles = exec::launch_map(strip_tiles, |b| {
+            let tid = first_tid + b;
+            let (tx, ty) = grid.tile_pos(tid);
+            source.tile(tx, ty)
+        });
+        timings.steps[0].wall_secs += t0.elapsed().as_secs_f64();
+        let strip_cells: u64 = tiles.iter().map(|t| t.len() as u64).sum();
+        let strip_encoded: u64 = (0..strip_tiles)
+            .map(|b| {
+                let (tx, ty) = grid.tile_pos(first_tid + b);
+                source.tile_encoded_bytes(tx, ty) as u64
+            })
+            .sum();
+        s0_cell.add_flops(strip_cells * DECODE_FLOPS_PER_CELL);
+        s0_cell.add_coalesced(strip_encoded + strip_cells * 2);
+        counts.n_cells += strip_cells;
+        counts.encoded_bytes += strip_encoded;
+        counts.raw_bytes += strip_cells * 2;
+
+        // ----- Step 1: per-tile histograms --------------------------------
+        let t1 = Instant::now();
+        let tile_hists = per_tile_histograms(&tiles, n_bins, &s1_cell, &s1_fixed);
+        timings.steps[1].wall_secs += t1.elapsed().as_secs_f64();
+        counts.n_valid_cells += tile_hists.iter().map(|h| h.valid_cells).sum::<u64>();
+        counts.n_nodata_cells += tile_hists.iter().map(|h| h.skipped_cells).sum::<u64>();
+
+        // ----- Step 3: aggregate inside tiles ------------------------------
+        let t3 = Instant::now();
+        let agg_pairs: Vec<(u32, &[u32])> = inside_by_strip[strip]
+            .iter()
+            .map(|&(pid, tid)| (pid, tile_hists[tid as usize - first_tid].bins.as_slice()))
+            .collect();
+        aggregate_inside(&agg_pairs, &zone_buf, n_bins, &s3_fixed);
+        timings.steps[3].wall_secs += t3.elapsed().as_secs_f64();
+
+        // ----- Step 4: refine boundary tiles -------------------------------
+        let t4 = Instant::now();
+        let ref_pairs: Vec<(u32, u32, &zonal_raster::TileData)> = intersect_by_strip[strip]
+            .iter()
+            .map(|&(pid, tid)| (pid, tid, &tiles[tid as usize - first_tid]))
+            .collect();
+        let rc = refine_intersect(&ref_pairs, grid, &zones.flat, &zone_buf, n_bins, cfg.representative, &s4_cell);
+        timings.steps[4].wall_secs += t4.elapsed().as_secs_f64();
+        counts.pip_cells_tested += rc.cells_tested;
+        counts.pip_cells_inside += rc.cells_inside;
+        counts.edge_tests += rc.edge_tests;
+    }
+
+    timings.steps[0].cell_work = s0_cell.snapshot();
+    timings.steps[1].cell_work = s1_cell.snapshot();
+    timings.steps[1].fixed_work = s1_fixed.snapshot();
+    timings.steps[3].fixed_work = s3_fixed.snapshot();
+    timings.steps[4].cell_work = s4_cell.snapshot();
+
+    let hists = ZoneHistograms::from_flat(n_zones, n_bins, zone_buf.into_vec());
+    timings.raster_input_bytes = counts.encoded_bytes;
+    timings.fixed_input_bytes = zones.device_bytes();
+    timings.output_bytes = hists.output_bytes();
+
+    ZonalResult { hists, timings, counts }
+}
+
+/// Run the pipeline over several partitions sequentially (the single-node
+/// configuration of the paper's Table 2) and merge the results.
+pub fn run_partitions<S: TileSource>(
+    cfg: &PipelineConfig,
+    zones: &Zones,
+    sources: &[S],
+) -> ZonalResult {
+    assert!(!sources.is_empty(), "need at least one partition");
+    let mut iter = sources.iter();
+    let first = iter.next().expect("nonempty");
+    let mut result = run_partition(cfg, zones, first);
+    for source in iter {
+        result.merge(&run_partition(cfg, zones, source));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zonal_geo::{Polygon, Ring};
+    use zonal_raster::{GeoTransform, Raster, TileGrid};
+
+    /// Layer of two half-plane rectangles partitioning [0,4]×[0,4], plus a
+    /// raster of constant stripes; exact counts are computable by hand.
+    fn simple_setup() -> (Zones, Raster, TileGrid) {
+        let layer = PolygonLayer::from_polygons(vec![
+            Polygon::rect(0.0, 0.0, 2.0, 4.0),
+            Polygon::rect(2.0, 0.0, 4.0, 4.0),
+        ]);
+        let gt = GeoTransform::new(0.0, 0.0, 0.1, 0.1);
+        // 40×40 cells; value = column / 10 (4 distinct values).
+        let raster = Raster::from_fn(40, 40, gt, |_r, c| (c / 10) as u16);
+        let grid = TileGrid::new(40, 40, 8, gt);
+        (Zones::new(layer), raster, grid)
+    }
+
+    #[test]
+    fn exact_counts_on_partitioned_rect_layer() {
+        let (zones, raster, grid) = simple_setup();
+        let cfg = PipelineConfig::test().with_bins(8);
+        let src = raster.tile_source(&grid);
+        let result = run_partition(&cfg, &zones, &src);
+        // Zone 0 covers columns 0..20 (x < 2.0): values 0 (cols 0..10) and
+        // 1 (cols 10..20), 40 rows each.
+        assert_eq!(result.hists.get(0, 0), 400);
+        assert_eq!(result.hists.get(0, 1), 400);
+        assert_eq!(result.hists.get(0, 2), 0);
+        // Zone 1 covers columns 20..40: values 2 and 3.
+        assert_eq!(result.hists.get(1, 2), 400);
+        assert_eq!(result.hists.get(1, 3), 400);
+        // Every cell counted exactly once.
+        assert_eq!(result.hists.total(), 1600);
+        assert_eq!(result.counts.n_cells, 1600);
+        assert_eq!(result.counts.n_valid_cells, 1600);
+    }
+
+    #[test]
+    fn pip_fraction_is_small_for_large_tiles_inside() {
+        let (zones, raster, grid) = simple_setup();
+        let cfg = PipelineConfig::test().with_bins(8);
+        let src = raster.tile_source(&grid);
+        let result = run_partition(&cfg, &zones, &src);
+        // Interior tiles skip cell tests entirely; only boundary-tile cells
+        // are PIP-tested.
+        assert!(result.counts.pip_cells_tested < result.counts.n_cells);
+        assert!(result.counts.inside_pairs > 0);
+        assert!(result.counts.intersect_pairs > 0);
+    }
+
+    #[test]
+    fn timings_populated() {
+        let (zones, raster, grid) = simple_setup();
+        let cfg = PipelineConfig::test().with_bins(8);
+        let src = raster.tile_source(&grid);
+        let result = run_partition(&cfg, &zones, &src);
+        let sim = result.timings.step_sim_secs();
+        // Step 1 and Step 4 did real work.
+        assert!(sim[1] > 0.0);
+        assert!(sim[4] > 0.0);
+        assert!(result.timings.end_to_end_sim_secs() > result.timings.steps_total_sim_secs_at_scale(1.0));
+        assert!(result.timings.wall_secs() > 0.0);
+        assert_eq!(result.counts.n_tiles, 25);
+    }
+
+    #[test]
+    fn strip_size_does_not_change_results() {
+        let (zones, raster, grid) = simple_setup();
+        let src = raster.tile_source(&grid);
+        let base = run_partition(&PipelineConfig::test().with_bins(8), &zones, &src);
+        for strip_rows in [1usize, 3, 100] {
+            let mut cfg = PipelineConfig::test().with_bins(8);
+            cfg.strip_rows = strip_rows;
+            let r = run_partition(&cfg, &zones, &src);
+            assert_eq!(r.hists, base.hists, "strip_rows={strip_rows}");
+        }
+    }
+
+    #[test]
+    fn multi_partition_merge_equals_single() {
+        // Split the raster into two partitions horizontally; results must
+        // merge to the single-raster answer.
+        let (zones, raster, grid) = simple_setup();
+        let whole = run_partition(
+            &PipelineConfig::test().with_bins(8),
+            &zones,
+            &raster.tile_source(&grid),
+        );
+        let gt = *raster.transform();
+        let top = Raster::from_fn(20, 40, gt.shifted(20, 0), |r, c| raster.get(r + 20, c));
+        let bottom = Raster::from_fn(20, 40, gt, |r, c| raster.get(r, c));
+        let grid_b = TileGrid::new(20, 40, 8, gt);
+        let grid_t = TileGrid::new(20, 40, 8, gt.shifted(20, 0));
+        let cfg = PipelineConfig::test().with_bins(8);
+        let mut merged = run_partition(&cfg, &zones, &bottom.tile_source(&grid_b));
+        merged.merge(&run_partition(&cfg, &zones, &top.tile_source(&grid_t)));
+        assert_eq!(merged.hists, whole.hists);
+        assert_eq!(merged.counts.n_cells, whole.counts.n_cells);
+    }
+
+    #[test]
+    fn zones_device_bytes() {
+        let zones = Zones::new(PolygonLayer::from_polygons(vec![Polygon::rect(0., 0., 1., 1.)]));
+        // 5 slots (4 vertices + closure) × 16 bytes + 1 × 4 bytes.
+        assert_eq!(zones.device_bytes(), 5 * 16 + 4);
+    }
+
+    #[test]
+    fn hole_cells_not_counted() {
+        let layer = PolygonLayer::from_polygons(vec![Polygon::new(vec![
+            Ring::rect(0.0, 0.0, 4.0, 4.0),
+            Ring::rect(1.0, 1.0, 3.0, 3.0),
+        ])]);
+        let zones = Zones::new(layer);
+        let gt = GeoTransform::new(0.0, 0.0, 0.1, 0.1);
+        let raster = Raster::filled(40, 40, 1, gt);
+        let grid = TileGrid::new(40, 40, 8, gt);
+        let cfg = PipelineConfig::test().with_bins(4);
+        let result = run_partition(&cfg, &zones, &raster.tile_source(&grid));
+        // 1600 cells minus the 20×20 hole.
+        assert_eq!(result.hists.get(0, 1), 1600 - 400);
+    }
+}

@@ -1,0 +1,166 @@
+//! Cell representative points for the cell-in-polygon test.
+//!
+//! The paper chooses cell centers "for simplicity" but notes (§III.D) that
+//! "it is possible to use some other points (e.g., corners or different
+//! types of weighted centers) either statically or dynamically that can
+//! represent the raster cell better, depending on applications". This
+//! module implements those options; [`crate::step4`] and the PIP baseline
+//! accept any of them, and the pipeline/baseline equivalence tests hold
+//! mode-for-mode.
+//!
+//! Consistency note: Step 3 aggregates completely-inside tiles without
+//! testing points, which stays exact for every mode here because each
+//! mode's sample points lie within the cell, hence within the tile, hence
+//! inside the polygon.
+
+use serde::{Deserialize, Serialize};
+use zonal_geo::{FlatPolygons, Point};
+use zonal_raster::GeoTransform;
+
+/// Which point(s) stand in for a raster cell in point-in-polygon tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellRepresentative {
+    /// Cell center — the paper's choice and the default.
+    Center,
+    /// The cell's lower-left corner. Shifts boundary attribution by half a
+    /// cell; used by systems that define cells by their origin node.
+    LowerLeftCorner,
+    /// Four quarter points; the cell counts when **at least 3** are inside
+    /// (strict majority). Approximates area-majority membership. Unlike the
+    /// single-point modes this is not a partition rule: a cell split 2–2
+    /// between two zones is counted by neither (conservative, never
+    /// double-counted).
+    Majority4,
+}
+
+impl CellRepresentative {
+    /// Does cell `(row, col)` of `gt` belong to polygon `k` of `flat`?
+    /// Returns the membership decision and the number of point tests spent
+    /// (for work accounting).
+    pub fn test(
+        self,
+        flat: &FlatPolygons,
+        k: usize,
+        gt: &GeoTransform,
+        row: usize,
+        col: usize,
+    ) -> (bool, u32) {
+        match self {
+            CellRepresentative::Center => (flat.contains(k, gt.cell_center(row, col)), 1),
+            CellRepresentative::LowerLeftCorner => {
+                let p = Point::new(gt.x0 + col as f64 * gt.sx, gt.y0 + row as f64 * gt.sy);
+                (flat.contains(k, p), 1)
+            }
+            CellRepresentative::Majority4 => {
+                let mut inside = 0u32;
+                for (fx, fy) in [(0.25, 0.25), (0.75, 0.25), (0.25, 0.75), (0.75, 0.75)] {
+                    let p = Point::new(
+                        gt.x0 + (col as f64 + fx) * gt.sx,
+                        gt.y0 + (row as f64 + fy) * gt.sy,
+                    );
+                    if flat.contains(k, p) {
+                        inside += 1;
+                    }
+                }
+                (inside >= 3, 4)
+            }
+        }
+    }
+
+    /// Point tests per cell (for cost accounting).
+    pub fn tests_per_cell(self) -> u32 {
+        match self {
+            CellRepresentative::Center | CellRepresentative::LowerLeftCorner => 1,
+            CellRepresentative::Majority4 => 4,
+        }
+    }
+
+    /// True for modes that partition a tessellation exactly (each cell in
+    /// exactly one zone).
+    pub fn is_partition_rule(self) -> bool {
+        !matches!(self, CellRepresentative::Majority4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zonal_geo::Polygon;
+
+    fn flat(poly: Polygon) -> FlatPolygons {
+        FlatPolygons::from_polygons(&[poly])
+    }
+
+    fn gt() -> GeoTransform {
+        GeoTransform::new(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn center_vs_corner_disagree_on_half_covered_cell() {
+        // Polygon covers x < 0.4 of cell (0,0): center (0.5, 0.5) is out,
+        // corner (0,0) is in.
+        let f = flat(Polygon::rect(-1.0, -1.0, 0.4, 2.0));
+        let (center_in, n1) = CellRepresentative::Center.test(&f, 0, &gt(), 0, 0);
+        let (corner_in, n2) = CellRepresentative::LowerLeftCorner.test(&f, 0, &gt(), 0, 0);
+        assert!(!center_in);
+        assert!(corner_in);
+        assert_eq!((n1, n2), (1, 1));
+    }
+
+    #[test]
+    fn majority_needs_three() {
+        // Polygon covers x < 0.5: exactly 2 of 4 quarter points inside => out.
+        let f = flat(Polygon::rect(-1.0, -1.0, 0.5, 2.0));
+        let (in_, n) = CellRepresentative::Majority4.test(&f, 0, &gt(), 0, 0);
+        assert!(!in_);
+        assert_eq!(n, 4);
+        // Polygon covers x < 0.8: all 4 inside => in.
+        let f2 = flat(Polygon::rect(-1.0, -1.0, 0.8, 2.0));
+        assert!(CellRepresentative::Majority4.test(&f2, 0, &gt(), 0, 0).0);
+        // Polygon covers x < 0.6, y < 0.6: 3 of 4 (the (0.75,0.75) point out) => in.
+        let f3 = flat(Polygon::rect(-1.0, -1.0, 0.6, 0.6));
+        // points: (0.25,0.25) in, (0.75,0.25) out, (0.25,0.75) out, (0.75,0.75) out => only 1.
+        assert!(!CellRepresentative::Majority4.test(&f3, 0, &gt(), 0, 0).0);
+    }
+
+    #[test]
+    fn fully_inside_cell_agrees_across_modes() {
+        let f = flat(Polygon::rect(-5.0, -5.0, 5.0, 5.0));
+        for mode in [
+            CellRepresentative::Center,
+            CellRepresentative::LowerLeftCorner,
+            CellRepresentative::Majority4,
+        ] {
+            assert!(mode.test(&f, 0, &gt(), 2, 3).0, "{mode:?}");
+        }
+        let g = flat(Polygon::rect(50.0, 50.0, 60.0, 60.0));
+        for mode in [
+            CellRepresentative::Center,
+            CellRepresentative::LowerLeftCorner,
+            CellRepresentative::Majority4,
+        ] {
+            assert!(!mode.test(&g, 0, &gt(), 2, 3).0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn partition_rule_flags() {
+        assert!(CellRepresentative::Center.is_partition_rule());
+        assert!(CellRepresentative::LowerLeftCorner.is_partition_rule());
+        assert!(!CellRepresentative::Majority4.is_partition_rule());
+    }
+
+    #[test]
+    fn majority_never_double_counts_shared_boundary() {
+        // Two rects sharing x = 0.5 split cell (0,0)'s samples 2-2: neither
+        // zone claims the cell.
+        let polys = vec![
+            Polygon::rect(-1.0, -1.0, 0.5, 2.0),
+            Polygon::rect(0.5, -1.0, 2.0, 2.0),
+        ];
+        let f = FlatPolygons::from_polygons(&polys);
+        let a = CellRepresentative::Majority4.test(&f, 0, &gt(), 0, 0).0;
+        let b = CellRepresentative::Majority4.test(&f, 1, &gt(), 0, 0).0;
+        assert!(!a && !b, "2-2 split counted by neither");
+    }
+}

@@ -1,0 +1,151 @@
+//! Step 1: per-tile histogram generation.
+//!
+//! One thread block per raster tile; threads zero the tile's bins, then
+//! stride over the tile's cells updating bins with `atomicAdd` — the
+//! paper's Fig. 2 `CellAggrKernel`. Here each block executes on the
+//! work-stealing pool ([`zonal_gpusim::exec::launch_map`]); a
+//! barrier-faithful rendition of the same kernel is exercised by the SIMT
+//! tests in `tests/simt_kernels.rs`.
+
+use zonal_gpusim::exec;
+use zonal_gpusim::WorkCounter;
+use zonal_raster::TileData;
+
+/// Per-tile histogram plus its cell accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileHistogram {
+    /// Bin counts (`n_bins` entries). `u32` suffices: a 360×360 tile has
+    /// 129,600 cells.
+    pub bins: Vec<u32>,
+    /// Cells whose value landed in a bin.
+    pub valid_cells: u64,
+    /// Cells skipped (no-data or ≥ `n_bins`).
+    pub skipped_cells: u64,
+}
+
+/// Compute per-tile histograms for a batch of decoded tiles (one strip).
+///
+/// Work accounting mirrors the kernel: zeroing bins is tile-proportional
+/// ("fixed" under resolution scaling), reading cells and the one atomic per
+/// valid cell are cell-proportional.
+pub fn per_tile_histograms(
+    tiles: &[TileData],
+    n_bins: usize,
+    cell_work: &WorkCounter,
+    fixed_work: &WorkCounter,
+) -> Vec<TileHistogram> {
+    let hists = exec::launch_map(tiles.len(), |b| {
+        let tile = &tiles[b];
+        // Zero histogram bins (Fig. 2 lines 2–4).
+        let mut bins = vec![0u32; n_bins];
+        let mut valid = 0u64;
+        // Stride over cells, one atomicAdd per in-range cell (lines 6–11).
+        // Within a block the bins are exclusively owned, so the atomic is
+        // realized as a plain add; blocks never share a tile histogram.
+        for &v in &tile.values {
+            if (v as usize) < n_bins {
+                bins[v as usize] += 1;
+                valid += 1;
+            }
+        }
+        let total = tile.values.len() as u64;
+        TileHistogram { bins, valid_cells: valid, skipped_cells: total - valid }
+    });
+
+    let n_cells: u64 = tiles.iter().map(|t| t.values.len() as u64).sum();
+    let n_valid: u64 = hists.iter().map(|h| h.valid_cells).sum();
+    // Cell-proportional work: one 2-byte coalesced read + ~1 op + 1 atomic
+    // per valid cell.
+    cell_work.add_coalesced(n_cells * 2);
+    cell_work.add_flops(n_cells);
+    cell_work.add_atomics(n_valid);
+    // Tile-proportional work: zeroing and writing out `n_bins` u32 per tile.
+    fixed_work.add_coalesced(tiles.len() as u64 * n_bins as u64 * 4 * 2);
+    fixed_work.add_flops(tiles.len() as u64 * n_bins as u64);
+    fixed_work.add_launch();
+    hists
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zonal_raster::NODATA;
+
+    fn wc() -> (WorkCounter, WorkCounter) {
+        (WorkCounter::new(), WorkCounter::new())
+    }
+
+    #[test]
+    fn counts_every_value() {
+        let tile = TileData::new(vec![0, 1, 1, 2, 2, 2], 2, 3);
+        let (cw, fw) = wc();
+        let h = &per_tile_histograms(std::slice::from_ref(&tile), 4, &cw, &fw)[0];
+        assert_eq!(h.bins, vec![1, 2, 3, 0]);
+        assert_eq!(h.valid_cells, 6);
+        assert_eq!(h.skipped_cells, 0);
+    }
+
+    #[test]
+    fn nodata_and_out_of_range_skipped() {
+        let tile = TileData::new(vec![0, NODATA, 100, 5], 2, 2);
+        let (cw, fw) = wc();
+        let h = &per_tile_histograms(std::slice::from_ref(&tile), 10, &cw, &fw)[0];
+        assert_eq!(h.bins.iter().sum::<u32>(), 2, "only values 0 and 5 are in range");
+        assert_eq!(h.bins[0], 1);
+        assert_eq!(h.bins[5], 1);
+        assert_eq!(h.valid_cells, 2);
+        assert_eq!(h.skipped_cells, 2);
+    }
+
+    #[test]
+    fn batch_of_tiles() {
+        let tiles: Vec<TileData> = (0..20)
+            .map(|k| TileData::filled(k as u16, 4, 4))
+            .collect();
+        let (cw, fw) = wc();
+        let hists = per_tile_histograms(&tiles, 16, &cw, &fw);
+        assert_eq!(hists.len(), 20);
+        for (k, h) in hists.iter().enumerate() {
+            if k < 16 {
+                assert_eq!(h.bins[k], 16, "tile {k} holds sixteen cells of value {k}");
+                assert_eq!(h.valid_cells, 16);
+            } else {
+                assert_eq!(h.valid_cells, 0, "tile {k}'s value is out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn work_accounting() {
+        let tiles = vec![TileData::filled(1, 10, 10), TileData::filled(999, 10, 10)];
+        let (cw, fw) = wc();
+        let _ = per_tile_histograms(&tiles, 16, &cw, &fw);
+        let cell = cw.snapshot();
+        let fixed = fw.snapshot();
+        assert_eq!(cell.coalesced_bytes, 200 * 2, "two bytes per cell");
+        assert_eq!(cell.atomics, 100, "only the in-range tile atomically updates");
+        assert_eq!(fixed.coalesced_bytes, 2 * 16 * 4 * 2);
+        assert_eq!(fixed.launches, 1);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (cw, fw) = wc();
+        let hists = per_tile_histograms(&[], 16, &cw, &fw);
+        assert!(hists.is_empty());
+        assert_eq!(cw.snapshot().atomics, 0);
+    }
+
+    #[test]
+    fn histogram_total_equals_valid_cells() {
+        // Invariant: sum of bins == valid cell count, for arbitrary data.
+        let values: Vec<u16> = (0..777).map(|i| ((i * 31) % 1200) as u16).collect();
+        let tile = TileData::new(values.clone(), 21, 37);
+        let (cw, fw) = wc();
+        let h = &per_tile_histograms(std::slice::from_ref(&tile), 1000, &cw, &fw)[0];
+        let expected_valid = values.iter().filter(|&&v| (v as usize) < 1000).count() as u64;
+        assert_eq!(h.bins.iter().map(|&b| b as u64).sum::<u64>(), expected_valid);
+        assert_eq!(h.valid_cells, expected_valid);
+        assert_eq!(h.valid_cells + h.skipped_cells, 777);
+    }
+}

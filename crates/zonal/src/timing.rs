@@ -1,0 +1,302 @@
+//! Per-step timing, work accounting, and full-scale extrapolation.
+
+use serde::{Deserialize, Serialize};
+use zonal_gpusim::{CostModel, DeviceSpec, KernelClass, KernelWork};
+
+/// Pipeline step identifiers in paper order.
+pub const STEP_NAMES: [&str; 5] = [
+    "Step 0: raster decompression",
+    "Step 1: per-tile histogramming",
+    "Step 2: tile-in-polygon test",
+    "Step 3: inside-tile histogram aggregation",
+    "Step 4: cell-in-polygon test and histogram update",
+];
+
+/// One pipeline step's measured wall time and counted device work.
+///
+/// Work is split into a **cell-proportional** part (scales with raster
+/// resolution: reading/decoding/testing cells) and a **fixed** part (scales
+/// with tile/polygon/bin counts, which the 0.1° tiling keeps
+/// resolution-independent). The split is what makes
+/// [`StepTiming::sim_secs_at_scale`] an honest extrapolation.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct StepTiming {
+    /// Real wall-clock seconds of the CPU execution.
+    pub wall_secs: f64,
+    /// Work that scales with cell count.
+    pub cell_work: KernelWork,
+    /// Work that does not scale with cell count.
+    pub fixed_work: KernelWork,
+    /// Kernel class for cost-model pricing.
+    pub class: KernelClass,
+    /// True for the paper's CPU-side step (Step 2): simulated time is the
+    /// measured wall time rather than a device cost.
+    pub cpu_side: bool,
+}
+
+impl StepTiming {
+    pub fn new(class: KernelClass) -> Self {
+        StepTiming {
+            wall_secs: 0.0,
+            cell_work: KernelWork::default(),
+            fixed_work: KernelWork::default(),
+            class,
+            cpu_side: false,
+        }
+    }
+
+    pub fn cpu(mut self) -> Self {
+        self.cpu_side = true;
+        self
+    }
+
+    /// Merge another measurement of the same step (accumulating strips or
+    /// partitions).
+    pub fn accumulate(&mut self, other: &StepTiming) {
+        self.wall_secs += other.wall_secs;
+        self.cell_work = self.cell_work.merge(&other.cell_work);
+        self.fixed_work = self.fixed_work.merge(&other.fixed_work);
+    }
+
+    /// Simulated device seconds at the measured scale.
+    pub fn sim_secs(&self, model: &CostModel) -> f64 {
+        self.sim_secs_at_scale(model, 1.0)
+    }
+
+    /// Simulated device seconds with cell-proportional work scaled by
+    /// `cell_factor`.
+    pub fn sim_secs_at_scale(&self, model: &CostModel, cell_factor: f64) -> f64 {
+        if self.cpu_side {
+            return self.wall_secs;
+        }
+        let work = self.cell_work.scale(cell_factor).merge(&self.fixed_work);
+        model.kernel_secs(self.class, &work)
+    }
+}
+
+/// Workload counters the paper's §IV discussion refers to.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineCounts {
+    /// Tiles in the raster(s).
+    pub n_tiles: u64,
+    /// All raster cells.
+    pub n_cells: u64,
+    /// Cells with a value inside the histogram range.
+    pub n_valid_cells: u64,
+    /// No-data / out-of-range cells.
+    pub n_nodata_cells: u64,
+    /// (polygon, tile) pairs surviving MBB filtering, by class.
+    pub inside_pairs: u64,
+    pub intersect_pairs: u64,
+    pub outside_pairs: u64,
+    /// Cells individually tested in Step 4.
+    pub pip_cells_tested: u64,
+    /// Of those, cells found inside their polygon.
+    pub pip_cells_inside: u64,
+    /// Polygon edges examined across all Step 4 tests.
+    pub edge_tests: u64,
+    /// Compressed and raw raster bytes (Step 0 input).
+    pub encoded_bytes: u64,
+    pub raw_bytes: u64,
+}
+
+impl PipelineCounts {
+    pub fn accumulate(&mut self, o: &PipelineCounts) {
+        self.n_tiles += o.n_tiles;
+        self.n_cells += o.n_cells;
+        self.n_valid_cells += o.n_valid_cells;
+        self.n_nodata_cells += o.n_nodata_cells;
+        self.inside_pairs += o.inside_pairs;
+        self.intersect_pairs += o.intersect_pairs;
+        self.outside_pairs += o.outside_pairs;
+        self.pip_cells_tested += o.pip_cells_tested;
+        self.pip_cells_inside += o.pip_cells_inside;
+        self.edge_tests += o.edge_tests;
+        self.encoded_bytes += o.encoded_bytes;
+        self.raw_bytes += o.raw_bytes;
+    }
+
+    /// Fraction of cells that needed an individual point-in-polygon test —
+    /// the saving the paper's tiling design exists to create.
+    pub fn pip_fraction(&self) -> f64 {
+        if self.n_cells == 0 {
+            return 0.0;
+        }
+        self.pip_cells_tested as f64 / self.n_cells as f64
+    }
+}
+
+/// Complete timing record of a pipeline run on one device.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineTimings {
+    pub device: DeviceSpec,
+    /// Steps 0–4, paper order.
+    pub steps: [StepTiming; 5],
+    /// Host→device raster bytes (compressed tiles): scales with resolution.
+    pub raster_input_bytes: u64,
+    /// Host→device polygon-array bytes: resolution-independent.
+    pub fixed_input_bytes: u64,
+    /// Device→host zone-histogram bytes: resolution-independent.
+    pub output_bytes: u64,
+}
+
+impl PipelineTimings {
+    pub fn new(device: DeviceSpec) -> Self {
+        PipelineTimings {
+            device,
+            steps: [
+                StepTiming::new(KernelClass::Decode),
+                StepTiming::new(KernelClass::Histogram),
+                StepTiming::new(KernelClass::Generic).cpu(),
+                StepTiming::new(KernelClass::Aggregate),
+                StepTiming::new(KernelClass::PipTest),
+            ],
+            raster_input_bytes: 0,
+            fixed_input_bytes: 0,
+            output_bytes: 0,
+        }
+    }
+
+    pub fn accumulate(&mut self, other: &PipelineTimings) {
+        for (a, b) in self.steps.iter_mut().zip(&other.steps) {
+            a.accumulate(b);
+        }
+        self.raster_input_bytes += other.raster_input_bytes;
+        self.fixed_input_bytes += other.fixed_input_bytes;
+        self.output_bytes += other.output_bytes;
+    }
+
+    fn model(&self) -> CostModel {
+        CostModel::new(self.device)
+    }
+
+    /// Re-price the same measured run on a different device. Work counts
+    /// and CPU-side wall times are device-independent, so a single
+    /// execution yields Table 2 columns for every device.
+    pub fn with_device(&self, device: DeviceSpec) -> PipelineTimings {
+        let mut t = self.clone();
+        t.device = device;
+        t
+    }
+
+    /// Simulated per-step device seconds (Table 2 rows) at measured scale.
+    pub fn step_sim_secs(&self) -> [f64; 5] {
+        self.step_sim_secs_at_scale(1.0)
+    }
+
+    /// Simulated per-step seconds with cell-proportional work scaled by
+    /// `cell_factor` (e.g. `(3600 / cells_per_degree)²` for full-SRTM
+    /// figures).
+    pub fn step_sim_secs_at_scale(&self, cell_factor: f64) -> [f64; 5] {
+        let m = self.model();
+        let mut out = [0.0; 5];
+        for (i, s) in self.steps.iter().enumerate() {
+            out[i] = s.sim_secs_at_scale(&m, cell_factor);
+        }
+        out
+    }
+
+    /// Sum of the five step times ("Runtimes of 5 steps" row of Table 2).
+    pub fn steps_total_sim_secs_at_scale(&self, cell_factor: f64) -> f64 {
+        self.step_sim_secs_at_scale(cell_factor).iter().sum()
+    }
+
+    /// End-to-end simulated seconds: steps plus host↔device transfers
+    /// ("end-to-end runtimes are larger than the total of the runtimes of
+    /// the five steps due to data transfer times").
+    pub fn end_to_end_sim_secs_at_scale(&self, cell_factor: f64) -> f64 {
+        let m = self.model();
+        let xfer = m.transfer_secs((self.raster_input_bytes as f64 * cell_factor) as u64)
+            + m.transfer_secs(self.fixed_input_bytes)
+            + m.transfer_secs(self.output_bytes);
+        self.steps_total_sim_secs_at_scale(cell_factor) + xfer
+    }
+
+    pub fn end_to_end_sim_secs(&self) -> f64 {
+        self.end_to_end_sim_secs_at_scale(1.0)
+    }
+
+    /// Total measured wall seconds across steps.
+    pub fn wall_secs(&self) -> f64 {
+        self.steps.iter().map(|s| s.wall_secs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_steps() {
+        let mut a = StepTiming::new(KernelClass::Histogram);
+        a.wall_secs = 1.0;
+        a.cell_work.atomics = 100;
+        let mut b = StepTiming::new(KernelClass::Histogram);
+        b.wall_secs = 2.0;
+        b.cell_work.atomics = 50;
+        b.fixed_work.flops = 7;
+        a.accumulate(&b);
+        assert_eq!(a.wall_secs, 3.0);
+        assert_eq!(a.cell_work.atomics, 150);
+        assert_eq!(a.fixed_work.flops, 7);
+    }
+
+    #[test]
+    fn cpu_step_sim_is_wall() {
+        let mut s = StepTiming::new(KernelClass::Generic).cpu();
+        s.wall_secs = 0.123;
+        s.cell_work.flops = u64::MAX / 2; // would be huge if priced
+        let m = CostModel::new(DeviceSpec::gtx_titan());
+        assert_eq!(s.sim_secs(&m), 0.123);
+        assert_eq!(s.sim_secs_at_scale(&m, 1000.0), 0.123, "CPU step does not scale");
+    }
+
+    #[test]
+    fn scaling_multiplies_cell_work_only() {
+        let mut s = StepTiming::new(KernelClass::Histogram);
+        s.cell_work.atomics = 1_000_000;
+        s.fixed_work.atomics = 500_000;
+        let m = CostModel::new(DeviceSpec::gtx_titan());
+        let t1 = s.sim_secs(&m);
+        let t4 = s.sim_secs_at_scale(&m, 4.0);
+        // 1.5M atomics -> 4.5M atomics: ratio 3, not 4.
+        assert!((t4 / t1 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn end_to_end_exceeds_steps_total() {
+        let mut t = PipelineTimings::new(DeviceSpec::gtx_titan());
+        t.steps[1].cell_work.atomics = 1_000_000_000;
+        t.raster_input_bytes = 1_000_000_000;
+        t.fixed_input_bytes = 1_400_000;
+        t.output_bytes = 62_000_000;
+        let steps = t.steps_total_sim_secs_at_scale(1.0);
+        let e2e = t.end_to_end_sim_secs();
+        assert!(e2e > steps, "transfers must add on top of steps");
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut a = PipelineCounts { n_cells: 10, pip_cells_tested: 2, ..Default::default() };
+        let b = PipelineCounts { n_cells: 30, pip_cells_tested: 3, ..Default::default() };
+        a.accumulate(&b);
+        assert_eq!(a.n_cells, 40);
+        assert_eq!(a.pip_cells_tested, 5);
+        assert!((a.pip_fraction() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timings_accumulate() {
+        let mut a = PipelineTimings::new(DeviceSpec::gtx_titan());
+        let mut b = PipelineTimings::new(DeviceSpec::gtx_titan());
+        b.steps[4].wall_secs = 2.5;
+        b.raster_input_bytes = 100;
+        b.fixed_input_bytes = 7;
+        a.accumulate(&b);
+        a.accumulate(&b);
+        assert_eq!(a.steps[4].wall_secs, 5.0);
+        assert_eq!(a.raster_input_bytes, 200);
+        assert_eq!(a.fixed_input_bytes, 14);
+        assert_eq!(a.wall_secs(), 5.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Area-weighted zonal histogramming.
+//!
+//! The paper's Step 4 assigns each boundary cell entirely to the polygon
+//! containing its representative point. The exact alternative — weight
+//! each boundary cell by the **fraction of its area** inside the polygon —
+//! is the limit of the "weighted centers" idea in §III.D, and is what
+//! careful GIS zonal statistics offer. Interior tiles still aggregate
+//! wholesale (weight 1 for every cell, exactly); only boundary-tile cells
+//! pay for a Sutherland–Hodgman clip.
+//!
+//! Weighted counts are `f64`; over a tessellation the per-bin weights sum
+//! to the number of cells of that value inside the layer, up to float
+//! rounding (tested).
+
+use crate::config::PipelineConfig;
+use crate::pairing::pair_tiles;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use zonal_geo::clip::coverage_fraction;
+use zonal_geo::PolygonLayer;
+use zonal_raster::{TileData, TileSource};
+
+/// Dense per-zone weighted histograms (`f64` weights).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedZoneHistograms {
+    n_zones: usize,
+    n_bins: usize,
+    data: Vec<f64>,
+}
+
+impl WeightedZoneHistograms {
+    pub fn new(n_zones: usize, n_bins: usize) -> Self {
+        WeightedZoneHistograms { n_zones, n_bins, data: vec![0.0; n_zones * n_bins] }
+    }
+
+    #[inline]
+    pub fn n_zones(&self) -> usize {
+        self.n_zones
+    }
+
+    #[inline]
+    pub fn n_bins(&self) -> usize {
+        self.n_bins
+    }
+
+    #[inline]
+    pub fn zone(&self, z: usize) -> &[f64] {
+        &self.data[z * self.n_bins..(z + 1) * self.n_bins]
+    }
+
+    #[inline]
+    pub fn get(&self, z: usize, bin: usize) -> f64 {
+        self.data[z * self.n_bins + bin]
+    }
+
+    #[inline]
+    pub fn add(&mut self, z: usize, bin: usize, w: f64) {
+        self.data[z * self.n_bins + bin] += w;
+    }
+
+    pub fn merge(&mut self, other: &WeightedZoneHistograms) {
+        assert_eq!(self.n_zones, other.n_zones);
+        assert_eq!(self.n_bins, other.n_bins);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Total weighted cells in zone `z` (its exact cell-area measure).
+    pub fn zone_total(&self, z: usize) -> f64 {
+        self.zone(z).iter().sum()
+    }
+
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Weighted mean value of zone `z` (`None` for empty zones).
+    pub fn zone_mean(&self, z: usize) -> Option<f64> {
+        let total = self.zone_total(z);
+        if total <= 0.0 {
+            return None;
+        }
+        let sum: f64 = self
+            .zone(z)
+            .iter()
+            .enumerate()
+            .map(|(v, &w)| v as f64 * w)
+            .sum();
+        Some(sum / total)
+    }
+}
+
+/// Run area-weighted zonal histogramming over one partition.
+///
+/// Same Step 2 filtering as the counting pipeline; inside tiles contribute
+/// weight 1 per valid cell, boundary-tile cells contribute their exact
+/// coverage fraction.
+pub fn run_weighted(
+    cfg: &PipelineConfig,
+    layer: &PolygonLayer,
+    source: &impl TileSource,
+) -> WeightedZoneHistograms {
+    cfg.validate();
+    let grid = source.grid();
+    let n_bins = cfg.n_bins;
+    let pairs = pair_tiles(layer, grid);
+
+    // Per-pair partial histograms, computed in parallel, merged serially.
+    let inside: Vec<(u32, u32)> = pairs.inside.iter_pairs().collect();
+    let boundary: Vec<(u32, u32)> = pairs.intersect.iter_pairs().collect();
+
+    let partials: Vec<(u32, Vec<(usize, f64)>)> = inside
+        .par_iter()
+        .map(|&(pid, tid)| {
+            let (tx, ty) = grid.tile_pos(tid as usize);
+            let tile = source.tile(tx, ty);
+            let mut acc = vec![0.0f64; n_bins];
+            for &v in &tile.values {
+                if (v as usize) < n_bins {
+                    acc[v as usize] += 1.0;
+                }
+            }
+            (pid, nonzero(&acc))
+        })
+        .chain(boundary.par_iter().map(|&(pid, tid)| {
+            let (tx, ty) = grid.tile_pos(tid as usize);
+            let tile: TileData = source.tile(tx, ty);
+            let (row0, col0) = grid.tile_origin_cell(tx, ty);
+            let gt = grid.transform();
+            let poly = layer.polygon(pid as usize);
+            let mut acc = vec![0.0f64; n_bins];
+            for dr in 0..tile.rows {
+                for dc in 0..tile.cols {
+                    let v = tile.get(dr, dc) as usize;
+                    if v >= n_bins {
+                        continue;
+                    }
+                    let cell_box = gt.cell_box(row0 + dr, col0 + dc);
+                    let w = coverage_fraction(poly, &cell_box);
+                    if w > 0.0 {
+                        acc[v] += w;
+                    }
+                }
+            }
+            (pid, nonzero(&acc))
+        }))
+        .collect();
+
+    let mut out = WeightedZoneHistograms::new(layer.len(), n_bins);
+    for (pid, sparse) in partials {
+        for (bin, w) in sparse {
+            out.add(pid as usize, bin, w);
+        }
+    }
+    out
+}
+
+fn nonzero(acc: &[f64]) -> Vec<(usize, f64)> {
+    acc.iter()
+        .enumerate()
+        .filter(|&(_, &w)| w > 0.0)
+        .map(|(b, &w)| (b, w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zonal_geo::{Point, Polygon, Ring};
+    use zonal_raster::{GeoTransform, Raster, TileGrid};
+
+    fn cfg() -> PipelineConfig {
+        PipelineConfig::test().with_bins(16).with_tile_deg(0.5)
+    }
+
+    #[test]
+    fn rect_layer_weights_are_exact() {
+        // Polygon covering x in [0, 1.25] over a raster of 0.5-wide cells:
+        // columns 0,1 fully covered (weight 1), column 2 half covered.
+        let layer = PolygonLayer::from_polygons(vec![Polygon::rect(0.0, 0.0, 1.25, 2.0)]);
+        let gt = GeoTransform::new(0.0, 0.0, 0.5, 0.5);
+        let raster = Raster::from_fn(4, 8, gt, |_r, c| c as u16);
+        let grid = TileGrid::new(4, 8, 4, gt);
+        let w = run_weighted(&cfg(), &layer, &raster.tile_source(&grid));
+        assert!((w.get(0, 0) - 4.0).abs() < 1e-12, "column 0 fully in");
+        assert!((w.get(0, 1) - 4.0).abs() < 1e-12, "column 1 fully in");
+        assert!((w.get(0, 2) - 2.0).abs() < 1e-12, "column 2 half in (4 cells x 0.5)");
+        assert!(w.get(0, 3).abs() < 1e-12);
+        // Total weight = polygon area / cell area = 2.5 / 0.25 = 10.
+        assert!((w.zone_total(0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_total_equals_area_over_cell_area() {
+        let poly = Polygon::from_ring(Ring::circle(Point::new(2.0, 2.0), 1.2, 48));
+        let area = poly.area();
+        let layer = PolygonLayer::from_polygons(vec![poly]);
+        let gt = GeoTransform::new(0.0, 0.0, 0.1, 0.1);
+        let raster = Raster::filled(40, 40, 3, gt);
+        let grid = TileGrid::new(40, 40, 8, gt);
+        let w = run_weighted(&cfg(), &layer, &raster.tile_source(&grid));
+        let expected = area / (0.1 * 0.1);
+        assert!(
+            (w.zone_total(0) - expected).abs() < 1e-6,
+            "weighted total {} vs area/cell {}",
+            w.zone_total(0),
+            expected
+        );
+    }
+
+    #[test]
+    fn tessellation_weights_partition_cells() {
+        // Two zones sharing an interior boundary: weights per cell sum to 1.
+        let layer = PolygonLayer::from_polygons(vec![
+            Polygon::rect(0.0, 0.0, 1.23, 4.0),
+            Polygon::rect(1.23, 0.0, 4.0, 4.0),
+        ]);
+        let gt = GeoTransform::new(0.0, 0.0, 0.5, 0.5);
+        let raster = Raster::filled(8, 8, 5, gt);
+        let grid = TileGrid::new(8, 8, 4, gt);
+        let w = run_weighted(&cfg(), &layer, &raster.tile_source(&grid));
+        assert!(
+            (w.total() - 64.0).abs() < 1e-9,
+            "all 64 cells exactly distributed, got {}",
+            w.total()
+        );
+    }
+
+    #[test]
+    fn hole_cells_weighted_out() {
+        let layer = PolygonLayer::from_polygons(vec![Polygon::new(vec![
+            Ring::rect(0.0, 0.0, 4.0, 4.0),
+            Ring::rect(1.0, 1.0, 3.0, 3.0),
+        ])]);
+        let gt = GeoTransform::new(0.0, 0.0, 0.5, 0.5);
+        let raster = Raster::filled(8, 8, 1, gt);
+        let grid = TileGrid::new(8, 8, 4, gt);
+        let w = run_weighted(&cfg(), &layer, &raster.tile_source(&grid));
+        // (16 - 4) area units / 0.25 per cell = 48 weighted cells.
+        assert!((w.zone_total(0) - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_mean() {
+        let mut w = WeightedZoneHistograms::new(1, 4);
+        w.add(0, 1, 1.0);
+        w.add(0, 3, 3.0);
+        assert!((w.zone_mean(0).expect("nonempty") - 2.5).abs() < 1e-12);
+        assert_eq!(WeightedZoneHistograms::new(1, 4).zone_mean(0), None);
+    }
+
+    #[test]
+    fn weighted_agrees_with_counting_away_from_boundaries() {
+        // For a polygon aligned to cell edges, weighting and counting agree
+        // exactly.
+        let layer = PolygonLayer::from_polygons(vec![Polygon::rect(0.5, 0.5, 2.5, 3.5)]);
+        let gt = GeoTransform::new(0.0, 0.0, 0.5, 0.5);
+        let raster = Raster::from_fn(8, 8, gt, |r, c| ((r + c) % 4) as u16);
+        let grid = TileGrid::new(8, 8, 4, gt);
+        let w = run_weighted(&cfg(), &layer, &raster.tile_source(&grid));
+        let counted = crate::baseline::full_pip_serial(&layer, &raster, 16);
+        for bin in 0..16 {
+            assert!(
+                (w.get(0, bin) - counted.get(0, bin) as f64).abs() < 1e-9,
+                "bin {bin}: weighted {} vs counted {}",
+                w.get(0, bin),
+                counted.get(0, bin)
+            );
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Clustering zones by histogram similarity (k-medoids).
+//!
+//! Completes the analysis chain the paper's introduction sketches: zonal
+//! histograms → distance measurements → "subsequent clustering". K-medoids
+//! (PAM-style alternation) is the natural choice because it only needs the
+//! pairwise distances the [`crate::distance`] module provides — no
+//! centroid arithmetic on histograms.
+//!
+//! Deterministic: initial medoids are chosen by a greedy max-min spread
+//! from a seeded start, and ties break by index.
+
+use crate::distance::Measure;
+use crate::hist::ZoneHistograms;
+use rayon::prelude::*;
+
+/// Result of clustering zones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneClustering {
+    /// Cluster id per zone (`k` distinct values, `usize::MAX` never used).
+    pub assignment: Vec<usize>,
+    /// Zone index of each cluster's medoid.
+    pub medoids: Vec<usize>,
+    /// Sum over zones of distance to their medoid.
+    pub total_cost: f64,
+    /// Alternation rounds until convergence.
+    pub iterations: usize,
+}
+
+impl ZoneClustering {
+    /// Zones in cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// K-medoids over zone histograms. Zones with empty histograms are
+/// assigned to the nearest medoid like any other zone (every measure is
+/// defined for empty histograms).
+///
+/// `k` must be ≥ 1 and ≤ the number of zones.
+pub fn kmedoids(
+    hists: &ZoneHistograms,
+    k: usize,
+    measure: Measure,
+    seed: u64,
+    max_iters: usize,
+) -> ZoneClustering {
+    let n = hists.n_zones();
+    assert!(k >= 1 && k <= n, "need 1 <= k <= zones, got k={k} n={n}");
+    let dist = |a: usize, b: usize| measure.eval(hists.zone(a), hists.zone(b));
+
+    // Greedy max-min initialization from a seeded first medoid.
+    let mut medoids = Vec::with_capacity(k);
+    medoids.push((seed % n as u64) as usize);
+    let mut min_d: Vec<f64> = (0..n).into_par_iter().map(|i| dist(i, medoids[0])).collect();
+    while medoids.len() < k {
+        let far = min_d
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .expect("n >= 1");
+        medoids.push(far);
+        min_d = (0..n)
+            .into_par_iter()
+            .map(|i| min_d[i].min(dist(i, far)))
+            .collect();
+    }
+
+    let mut assignment = vec![0usize; n];
+    let mut total_cost = f64::INFINITY;
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        // Assign each zone to the nearest medoid.
+        let assigned: Vec<(usize, f64)> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                medoids
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &m)| (c, dist(i, m)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+                    .expect("k >= 1")
+            })
+            .collect();
+        let new_cost: f64 = assigned.iter().map(|&(_, d)| d).sum();
+        assignment = assigned.iter().map(|&(c, _)| c).collect();
+
+        // Update each medoid to the member minimizing intra-cluster cost.
+        let mut new_medoids = medoids.clone();
+        for (c, slot) in new_medoids.iter_mut().enumerate() {
+            let members: Vec<usize> =
+                (0..n).filter(|&i| assignment[i] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let best = members
+                .par_iter()
+                .map(|&cand| {
+                    let cost: f64 = members.iter().map(|&m| dist(m, cand)).sum();
+                    (cand, cost)
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+                .expect("nonempty");
+            *slot = best.0;
+        }
+
+        let converged = new_medoids == medoids && (new_cost - total_cost).abs() < 1e-12;
+        medoids = new_medoids;
+        total_cost = new_cost;
+        if converged {
+            break;
+        }
+    }
+
+    ZoneClustering { assignment, medoids, total_cost, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated histogram families.
+    fn three_families() -> ZoneHistograms {
+        let n_bins = 12;
+        let mut h = ZoneHistograms::new(9, n_bins);
+        for z in 0..9 {
+            let family = z / 3;
+            // Family f concentrates mass around bin 2 + 4f with small
+            // per-zone variation.
+            let center = 2 + 4 * family;
+            h.add(z, center, 80);
+            h.add(z, center + 1, 10 + z as u64);
+            if center > 0 {
+                h.add(z, center - 1, 10);
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn recovers_planted_clusters() {
+        let h = three_families();
+        for measure in [Measure::JensenShannon, Measure::Emd1d, Measure::ChiSquare] {
+            let c = kmedoids(&h, 3, measure, 1, 50);
+            // Zones in the same family must share a cluster id; different
+            // families must differ.
+            for z in 0..9 {
+                assert_eq!(
+                    c.assignment[z],
+                    c.assignment[(z / 3) * 3],
+                    "{measure:?}: zone {z} split from its family"
+                );
+            }
+            let ids: std::collections::HashSet<usize> = c.assignment.iter().copied().collect();
+            assert_eq!(ids.len(), 3, "{measure:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let h = three_families();
+        let a = kmedoids(&h, 3, Measure::L1, 7, 50);
+        let b = kmedoids(&h, 3, Measure::L1, 7, 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let h = three_families();
+        let c = kmedoids(&h, 1, Measure::L2, 0, 20);
+        assert!(c.assignment.iter().all(|&a| a == 0));
+        assert_eq!(c.medoids.len(), 1);
+        assert_eq!(c.members(0).len(), 9);
+    }
+
+    #[test]
+    fn k_equals_n_zero_cost() {
+        let h = three_families();
+        let c = kmedoids(&h, 9, Measure::L1, 3, 50);
+        assert!(c.total_cost < 1e-12, "every zone its own medoid");
+    }
+
+    #[test]
+    fn medoids_are_members_of_their_clusters() {
+        let h = three_families();
+        let c = kmedoids(&h, 3, Measure::Cosine, 5, 50);
+        for (cid, &m) in c.medoids.iter().enumerate() {
+            assert_eq!(c.assignment[m], cid, "medoid {m} not in its own cluster");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k")]
+    fn k_zero_rejected() {
+        let h = three_families();
+        let _ = kmedoids(&h, 0, Measure::L1, 0, 10);
+    }
+}

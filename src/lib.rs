@@ -1,0 +1,25 @@
+//! # zonal-histo
+//!
+//! Umbrella crate for the reproduction of *"High-Performance Zonal
+//! Histogramming on Large-Scale Geospatial Rasters Using GPUs and
+//! GPU-Accelerated Clusters"* (Zhang & Wang, 2014).
+//!
+//! Re-exports the public APIs of all member crates under stable module
+//! names. Most users want:
+//!
+//! * [`zonal::pipeline`] — the four-step zonal histogramming pipeline;
+//! * [`geo::CountyConfig`] / [`raster::srtm`] — deterministic synthetic
+//!   workload generators (the county layer and the SRTM-like DEM);
+//! * [`gpusim::DeviceSpec`] — simulated device presets (Quadro 6000,
+//!   GTX Titan, Tesla K20X);
+//! * [`cluster`] — the simulated GPU-accelerated cluster used for the
+//!   Fig. 6 scaling study.
+//!
+//! See `examples/quickstart.rs` for a complete end-to-end run.
+
+pub use zonal_bqtree as bqtree;
+pub use zonal_cluster as cluster;
+pub use zonal_core as zonal;
+pub use zonal_geo as geo;
+pub use zonal_gpusim as gpusim;
+pub use zonal_raster as raster;

@@ -1,0 +1,114 @@
+//! End-to-end tests of the `zonal-cli` binary: generate → zones → info →
+//! run, exercising the on-disk containers and WKT layer I/O through the
+//! real executable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_zonal-cli"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zonal-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn full_workflow() {
+    let dir = tmpdir("full");
+    let dem = dir.join("dem.zbqt");
+    let zones = dir.join("zones.wkt");
+    let csv = dir.join("hist.csv");
+
+    // generate
+    let out = cli()
+        .args(["generate", "--out"])
+        .arg(&dem)
+        .args(["--extent", "-105", "38", "-103", "40", "--cpd", "20", "--seed", "7"])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "generate: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(dem.exists());
+
+    // zones
+    let out = cli()
+        .args(["zones", "--out"])
+        .arg(&zones)
+        .args(["--extent", "-105", "38", "-103", "40", "--nx", "4", "--ny", "4", "--seed", "7"])
+        .output()
+        .expect("run zones");
+    assert!(out.status.success(), "zones: {}", String::from_utf8_lossy(&out.stderr));
+    let wkt = std::fs::read_to_string(&zones).expect("read zones");
+    assert_eq!(wkt.lines().filter(|l| !l.trim().is_empty()).count(), 16);
+
+    // info
+    let out = cli().args(["info", "--raster"]).arg(&dem).output().expect("run info");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("40 x 40 cells"), "info output: {text}");
+    assert!(text.contains("storage:"), "info output: {text}");
+
+    // run
+    let out = cli()
+        .args(["run", "--raster"])
+        .arg(&dem)
+        .arg("--zones")
+        .arg(&zones)
+        .args(["--bins", "5000", "--csv"])
+        .arg(&csv)
+        .output()
+        .expect("run run");
+    assert!(out.status.success(), "run: {}", String::from_utf8_lossy(&out.stderr));
+    let table = String::from_utf8_lossy(&out.stdout);
+    // Header + 16 zone rows.
+    assert_eq!(table.lines().count(), 17, "stats table: {table}");
+    assert!(table.contains("zone-0"));
+    // CSV exists and is well-formed.
+    let csv_text = std::fs::read_to_string(&csv).expect("read csv");
+    assert!(csv_text.starts_with("zone,bin,count\n"));
+    assert!(csv_text.lines().count() > 1, "some zone must have cells");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_flags_fail_cleanly() {
+    let out = cli().args(["run", "--raster"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+
+    let out = cli().args(["frobnicate", "--x", "1"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = cli().output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn info_rejects_non_container() {
+    let dir = tmpdir("badfile");
+    let junk = dir.join("junk.zbqt");
+    std::fs::write(&junk, b"this is not a raster container at all").expect("write junk");
+    let out = cli().args(["info", "--raster"]).arg(&junk).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("ZBQT"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_rejects_inverted_extent() {
+    let dir = tmpdir("extent");
+    let out = cli()
+        .args(["generate", "--out"])
+        .arg(dir.join("x.zbqt"))
+        .args(["--extent", "-103", "38", "-105", "40"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("LON0 < LON1"));
+    std::fs::remove_dir_all(&dir).ok();
+}

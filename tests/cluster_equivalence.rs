@@ -1,0 +1,73 @@
+//! Distribution invariance: the cluster must compute exactly what a single
+//! node computes, for any node count, assignment policy, or strip size.
+
+use zonal_histo::cluster::{run_cluster, Assignment, ClusterConfig};
+use zonal_histo::geo::CountyConfig;
+use zonal_histo::zonal::pipeline::Zones;
+
+const SEED: u64 = 77;
+
+fn zones() -> Zones {
+    let mut cfg = CountyConfig::us_like(SEED);
+    cfg.nx = 12;
+    cfg.ny = 8;
+    cfg.edge_subdiv = 2;
+    Zones::new(cfg.generate())
+}
+
+fn cfg(n: usize) -> ClusterConfig {
+    let mut c = ClusterConfig::titan(n, 6, SEED);
+    c.pipeline.tile_deg = 1.0;
+    c.pipeline.n_bins = 256;
+    c
+}
+
+#[test]
+fn all_node_counts_agree() {
+    let zones = zones();
+    let reference = run_cluster(&cfg(1), &zones);
+    for n in [2usize, 3, 5, 8, 16, 36] {
+        let run = run_cluster(&cfg(n), &zones);
+        assert_eq!(run.hists, reference.hists, "{n} nodes");
+        assert_eq!(
+            run.nodes.iter().map(|r| r.n_cells).sum::<u64>(),
+            reference.nodes[0].n_cells,
+            "{n} nodes process the same cells"
+        );
+    }
+}
+
+#[test]
+fn assignment_policies_agree() {
+    let zones = zones();
+    let rr = run_cluster(&cfg(8), &zones);
+    let mut bcfg = cfg(8);
+    bcfg.assignment = Assignment::BalancedByCells;
+    let bal = run_cluster(&bcfg, &zones);
+    assert_eq!(rr.hists, bal.hists);
+}
+
+#[test]
+fn master_combine_is_linear() {
+    // The master-side merge must be associative/commutative: histograms
+    // combined in any node order are identical. Exercised implicitly by
+    // thread scheduling; pin it with different node counts whose gather
+    // orders differ.
+    let zones = zones();
+    let a = run_cluster(&cfg(4), &zones);
+    let b = run_cluster(&cfg(4), &zones);
+    assert_eq!(a.hists, b.hists, "combine order must not matter");
+}
+
+#[test]
+fn reports_complete_and_consistent() {
+    let zones = zones();
+    let run = run_cluster(&cfg(5), &zones);
+    assert_eq!(run.nodes.len(), 5);
+    for (rank, r) in run.nodes.iter().enumerate() {
+        assert_eq!(r.rank, rank);
+    }
+    assert_eq!(run.nodes.iter().map(|r| r.n_partitions).sum::<usize>(), 36);
+    assert!(run.sim_secs >= run.nodes.iter().map(|r| r.sim_secs).fold(0.0, f64::max));
+    assert!(run.comm_secs > 0.0);
+}

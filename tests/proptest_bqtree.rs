@@ -1,0 +1,64 @@
+//! Property tests for the BQ-Tree codec: lossless round-trip over adversarial
+//! tile shapes and value distributions.
+
+use proptest::prelude::*;
+use zonal_histo::bqtree::{decode_tile, encode_tile};
+use zonal_histo::raster::TileData;
+
+fn tile_strategy() -> impl Strategy<Value = TileData> {
+    (1usize..40, 1usize..40).prop_flat_map(|(rows, cols)| {
+        prop::collection::vec(any::<u16>(), rows * cols)
+            .prop_map(move |values| TileData::new(values, rows, cols))
+    })
+}
+
+/// Low-entropy tiles: few distinct values, like classified land-cover
+/// rasters (the other data family the paper's technique targets).
+fn low_entropy_tile() -> impl Strategy<Value = TileData> {
+    (1usize..40, 1usize..40, prop::collection::vec(0u16..4, 1..4)).prop_flat_map(
+        |(rows, cols, alphabet)| {
+            prop::collection::vec(0usize..alphabet.len(), rows * cols).prop_map(move |idx| {
+                TileData::new(idx.iter().map(|&i| alphabet[i]).collect(), rows, cols)
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn roundtrip_arbitrary(tile in tile_strategy()) {
+        let enc = encode_tile(&tile);
+        prop_assert_eq!(decode_tile(&enc), tile);
+    }
+
+    #[test]
+    fn roundtrip_low_entropy_and_compresses(tile in low_entropy_tile()) {
+        let enc = encode_tile(&tile);
+        prop_assert_eq!(decode_tile(&enc), tile.clone());
+        // With ≤ 4 distinct small values, 14 of 16 planes are uniform zero:
+        // sizable tiles must compress.
+        if tile.len() >= 256 {
+            prop_assert!(
+                enc.len() < tile.len() * 2,
+                "low-entropy tile should beat raw: {} vs {}",
+                enc.len(),
+                tile.len() * 2
+            );
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic(tile in tile_strategy()) {
+        prop_assert_eq!(encode_tile(&tile), encode_tile(&tile));
+    }
+
+    #[test]
+    fn header_carries_shape(tile in tile_strategy()) {
+        let enc = encode_tile(&tile);
+        let dec = decode_tile(&enc);
+        prop_assert_eq!(dec.rows, tile.rows);
+        prop_assert_eq!(dec.cols, tile.cols);
+    }
+}

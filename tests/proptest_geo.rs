@@ -1,0 +1,151 @@
+//! Property tests for the geometry substrate.
+
+use proptest::prelude::*;
+use zonal_histo::geo::{
+    classify_box, point_in_ring, FlatPolygons, Mbr, Point, Polygon, Ring, TileRelation,
+};
+
+/// Star-shaped polygon from random radii: always simple (non-self-
+/// intersecting), arbitrary vertex count, concave in general.
+fn star_polygon(cx: f64, cy: f64, radii: &[f64]) -> Polygon {
+    let n = radii.len();
+    let pts = radii
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| {
+            let t = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            Point::new(cx + r * t.cos(), cy + r * t.sin())
+        })
+        .collect();
+    Polygon::from_ring(Ring::new(pts))
+}
+
+fn radii_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.2f64..3.0, 3..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn flat_contains_matches_object_contains(
+        radii in radii_strategy(),
+        probes in prop::collection::vec((-4.0f64..4.0, -4.0f64..4.0), 32),
+    ) {
+        let poly = star_polygon(10.0, 10.0, &radii);
+        let flat = FlatPolygons::from_polygons(std::slice::from_ref(&poly));
+        for (dx, dy) in probes {
+            let p = Point::new(10.0 + dx, 10.0 + dy);
+            prop_assert_eq!(flat.contains(0, p), poly.contains(p), "at {:?}", p);
+        }
+    }
+
+    #[test]
+    fn flat_contains_matches_for_multi_ring(
+        outer in radii_strategy(),
+        probes in prop::collection::vec((-4.0f64..4.0, -4.0f64..4.0), 24),
+    ) {
+        // Outer star + a hole star scaled to 30% (strictly inside since
+        // min radius ratio holds pointwise on the same angles).
+        let n = outer.len();
+        let hole: Vec<f64> = outer.iter().map(|r| r * 0.3).collect();
+        let mk = |radii: &[f64]| {
+            Ring::new(
+                radii
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &r)| {
+                        let t = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                        Point::new(10.0 + r * t.cos(), 10.0 + r * t.sin())
+                    })
+                    .collect(),
+            )
+        };
+        let poly = Polygon::new(vec![mk(&outer), mk(&hole)]);
+        let flat = FlatPolygons::from_polygons(std::slice::from_ref(&poly));
+        for (dx, dy) in probes {
+            let p = Point::new(10.0 + dx, 10.0 + dy);
+            prop_assert_eq!(flat.contains(0, p), poly.contains(p), "at {:?}", p);
+        }
+    }
+
+    #[test]
+    fn ring_orientation_does_not_change_containment(
+        radii in radii_strategy(),
+        px in -4.0f64..4.0,
+        py in -4.0f64..4.0,
+    ) {
+        let poly = star_polygon(0.0, 0.0, &radii);
+        let mut rev = poly.rings()[0].clone();
+        rev.reverse();
+        let p = Point::new(px, py);
+        prop_assert_eq!(point_in_ring(p, &poly.rings()[0]), point_in_ring(p, &rev));
+    }
+
+    #[test]
+    fn classify_box_consistent_with_center_samples(
+        radii in radii_strategy(),
+        bx in -3.5f64..3.5,
+        by in -3.5f64..3.5,
+        side in 0.1f64..2.0,
+    ) {
+        let poly = star_polygon(0.0, 0.0, &radii);
+        let tile = Mbr::new(bx, by, bx + side, by + side);
+        let rel = classify_box(&poly, &tile);
+        // Sample a grid of interior points: Inside ⇒ all in; Outside ⇒ all out.
+        for i in 0..5 {
+            for j in 0..5 {
+                let p = Point::new(
+                    tile.min_x + side * (i as f64 + 0.5) / 5.0,
+                    tile.min_y + side * (j as f64 + 0.5) / 5.0,
+                );
+                match rel {
+                    TileRelation::Inside => prop_assert!(poly.contains(p), "Inside tile has outside point {:?}", p),
+                    TileRelation::Outside => prop_assert!(!poly.contains(p), "Outside tile has inside point {:?}", p),
+                    TileRelation::Intersect => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mbr_union_contains_both(
+        a in (-10.0f64..10.0, -10.0f64..10.0, 0.1f64..5.0, 0.1f64..5.0),
+        b in (-10.0f64..10.0, -10.0f64..10.0, 0.1f64..5.0, 0.1f64..5.0),
+    ) {
+        let ma = Mbr::new(a.0, a.1, a.0 + a.2, a.1 + a.3);
+        let mb = Mbr::new(b.0, b.1, b.0 + b.2, b.1 + b.3);
+        let u = ma.union(&mb);
+        prop_assert!(u.contains(&ma));
+        prop_assert!(u.contains(&mb));
+        let i = ma.intersection(&mb);
+        if !i.is_empty() {
+            prop_assert!(ma.contains(&i));
+            prop_assert!(mb.contains(&i));
+            prop_assert!(ma.intersects(&mb));
+        }
+    }
+
+    #[test]
+    fn polygon_area_within_mbr_area(radii in radii_strategy()) {
+        let poly = star_polygon(0.0, 0.0, &radii);
+        let mbr = poly.mbr();
+        prop_assert!(poly.area() <= mbr.area() + 1e-9);
+        prop_assert!(poly.area() > 0.0);
+    }
+
+    #[test]
+    fn shared_edge_exclusivity(
+        split in -0.8f64..0.8,
+        px in -0.99f64..0.99,
+        py in -0.99f64..0.99,
+    ) {
+        // Two rectangles sharing the vertical edge x = split partition
+        // [-1,1]²: every interior point belongs to exactly one.
+        let left = Polygon::rect(-1.0, -1.0, split, 1.0);
+        let right = Polygon::rect(split, -1.0, 1.0, 1.0);
+        let p = Point::new(px, py);
+        let owners = usize::from(left.contains(p)) + usize::from(right.contains(p));
+        prop_assert_eq!(owners, 1, "point {:?} split {}", p, split);
+    }
+}
