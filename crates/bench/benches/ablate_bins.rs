@@ -17,7 +17,9 @@ fn bench_bins(c: &mut Criterion) {
     let grid = part.grid(0.1);
     let src = SyntheticSrtm::new(grid.clone(), SEED);
     // One strip of real DEM tiles.
-    let tiles: Vec<TileData> = (0..grid.tiles_x().min(128)).map(|tx| src.tile(tx, 1)).collect();
+    let tiles: Vec<TileData> = (0..grid.tiles_x().min(128))
+        .map(|tx| src.tile(tx, 1))
+        .collect();
     let n_cells: u64 = tiles.iter().map(|t| t.len() as u64).sum();
 
     let mut g = c.benchmark_group("ablate_bins");
@@ -25,9 +27,11 @@ fn bench_bins(c: &mut Criterion) {
     g.throughput(Throughput::Elements(n_cells));
     for n_bins in [256usize, 1024, 5000, 16384] {
         let wc = WorkCounter::new();
-        g.bench_with_input(BenchmarkId::from_parameter(n_bins), &n_bins, |b, &n_bins| {
-            b.iter(|| per_tile_histograms(&tiles, n_bins, &wc, &wc).len())
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n_bins),
+            &n_bins,
+            |b, &n_bins| b.iter(|| per_tile_histograms(&tiles, n_bins, &wc, &wc).len()),
+        );
     }
     g.finish();
 }

@@ -34,39 +34,49 @@ fn bench_morton(c: &mut Criterion) {
     g.sample_size(20);
 
     // 2×2-block traversal: visit cells in warp-tile order, summing values.
-    g.bench_with_input(BenchmarkId::new("block2x2_traversal", "row_major"), &tile, |b, t| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for br in (0..side).step_by(2) {
-                for bc in (0..side).step_by(2) {
-                    for dr in 0..2 {
-                        for dc in 0..2 {
-                            acc += t.get(br + dr, bc + dc) as u64;
+    g.bench_with_input(
+        BenchmarkId::new("block2x2_traversal", "row_major"),
+        &tile,
+        |b, t| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for br in (0..side).step_by(2) {
+                    for bc in (0..side).step_by(2) {
+                        for dr in 0..2 {
+                            for dc in 0..2 {
+                                acc += t.get(br + dr, bc + dc) as u64;
+                            }
                         }
                     }
                 }
-            }
-            acc
-        })
-    });
+                acc
+            })
+        },
+    );
 
-    g.bench_with_input(BenchmarkId::new("block2x2_traversal", "morton"), &morton, |b, m| {
-        b.iter(|| {
-            // In Morton order a 2×2 block is 4 consecutive elements.
-            let mut acc = 0u64;
-            for br in (0..side).step_by(2) {
-                for bc in (0..side).step_by(2) {
-                    let base = morton_encode(br as u32, bc as u32) as usize;
-                    for k in 0..4 {
-                        acc += m[base + k] as u64;
+    g.bench_with_input(
+        BenchmarkId::new("block2x2_traversal", "morton"),
+        &morton,
+        |b, m| {
+            b.iter(|| {
+                // In Morton order a 2×2 block is 4 consecutive elements.
+                let mut acc = 0u64;
+                for br in (0..side).step_by(2) {
+                    for bc in (0..side).step_by(2) {
+                        let base = morton_encode(br as u32, bc as u32) as usize;
+                        for k in 0..4 {
+                            acc += m[base + k] as u64;
+                        }
                     }
                 }
-            }
-            acc
-        })
-    });
+                acc
+            })
+        },
+    );
 
-    g.bench_function("layout_conversion", |b| b.iter(|| tile_to_morton(&tile).len()));
+    g.bench_function("layout_conversion", |b| {
+        b.iter(|| tile_to_morton(&tile).len())
+    });
     g.finish();
 }
 

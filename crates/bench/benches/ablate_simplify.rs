@@ -28,13 +28,19 @@ fn bench_simplify(c: &mut Criterion) {
     // Dense boundaries so simplification has something to remove.
     let base = small_zones(24, 18, 8);
     let part = zonal_bench::partition_of(40, "west-south", 0);
-    let cfg = paper_cfg(DeviceSpec::gtx_titan()).with_bins(1000).with_tile_deg(0.2);
+    let cfg = paper_cfg(DeviceSpec::gtx_titan())
+        .with_bins(1000)
+        .with_tile_deg(0.2);
     let src = SyntheticSrtm::new(part.grid(0.2), SEED);
 
     let mut g = c.benchmark_group("ablate_simplify");
     g.sample_size(10);
     for &eps in &[0.0f64, 0.002, 0.01, 0.05] {
-        let zones = if eps == 0.0 { base.clone() } else { simplified_zones(&base, eps) };
+        let zones = if eps == 0.0 {
+            base.clone()
+        } else {
+            simplified_zones(&base, eps)
+        };
         let label = format!("eps={eps} verts={}", zones.layer.total_vertices());
         g.bench_with_input(BenchmarkId::from_parameter(label), &zones, |b, zones| {
             b.iter(|| run_partition(&cfg, zones, &src).hists.total())

@@ -2,8 +2,8 @@
 //! (Step 0's cost) across tile sizes and data regimes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use zonal_bqtree::{decode_tile, encode_tile};
 use zonal_bench::SEED;
+use zonal_bqtree::{decode_tile, encode_tile};
 use zonal_raster::srtm::elevation;
 use zonal_raster::TileData;
 

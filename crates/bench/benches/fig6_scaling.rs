@@ -14,7 +14,7 @@ fn bench_cluster(c: &mut Criterion) {
         cfg.pipeline.tile_deg = 0.5;
         cfg.pipeline.n_bins = 512;
         g.bench_with_input(BenchmarkId::from_parameter(n_nodes), &cfg, |b, cfg| {
-            b.iter(|| run_cluster(cfg, &zones).hists.total())
+            b.iter(|| run_cluster(cfg, &zones).expect("cluster run").hists.total())
         });
     }
     g.finish();

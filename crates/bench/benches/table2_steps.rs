@@ -50,7 +50,9 @@ fn bench_steps(c: &mut Criterion) {
         b.iter(|| per_tile_histograms(&tiles, cfg.n_bins, &wc, &wc).len())
     });
 
-    g.bench_function("step2_pairing", |b| b.iter(|| pair_tiles(&zones.layer, &grid).n_candidates()));
+    g.bench_function("step2_pairing", |b| {
+        b.iter(|| pair_tiles(&zones.layer, &grid).n_candidates())
+    });
 
     g.bench_function("step3_aggregate", |b| {
         b.iter(|| {
@@ -73,8 +75,16 @@ fn bench_steps(c: &mut Criterion) {
                 .iter_pairs()
                 .map(|(pid, tid)| (pid, tid, &tiles[tid as usize]))
                 .collect();
-            refine_intersect(&rp, &grid, &zones.flat, &zone_buf, cfg.n_bins, cfg.representative, &wc)
-                .cells_tested
+            refine_intersect(
+                &rp,
+                &grid,
+                &zones.flat,
+                &zone_buf,
+                cfg.n_bins,
+                cfg.representative,
+                &wc,
+            )
+            .cells_tested
         })
     });
 

@@ -23,7 +23,9 @@
 //! EXPERIMENTS.md.
 
 use std::time::Instant;
-use zonal_bench::{cell_factor, paper_cfg, partition_of, partitions, run_full_compressed, us_zones, SEED};
+use zonal_bench::{
+    cell_factor, paper_cfg, partition_of, partitions, run_full_compressed, us_zones, SEED,
+};
 use zonal_cluster::{run_scaling, ClusterConfig};
 use zonal_core::baseline;
 use zonal_core::pipeline::Zones;
@@ -38,7 +40,11 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { experiment: "all".into(), cpd: None, seed: SEED };
+    let mut args = Args {
+        experiment: "all".into(),
+        cpd: None,
+        seed: SEED,
+    };
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -50,7 +56,10 @@ fn parse_args() -> Args {
                 )
             }
             "--seed" => {
-                args.seed = iter.next().and_then(|v| v.parse().ok()).expect("--seed needs an integer")
+                args.seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer")
             }
             other if !other.starts_with('-') => args.experiment = other.into(),
             other => panic!("unknown flag {other}"),
@@ -98,7 +107,10 @@ fn table1() {
 fn table2(zones: &Zones, cpd: u32) {
     println!("\n== Table 2: per-step runtimes (seconds), Quadro 6000 vs GTX Titan ==");
     println!("(measured at {cpd} cells/degree; device columns are cost-model seconds");
-    println!(" extrapolated to the paper's 3600 cells/degree — factor {}x on per-cell work)\n", cell_factor(cpd));
+    println!(
+        " extrapolated to the paper's 3600 cells/degree — factor {}x on per-cell work)\n",
+        cell_factor(cpd)
+    );
     let cfg = paper_cfg(DeviceSpec::gtx_titan());
     let t = Instant::now();
     let (result, stats) = run_full_compressed(&cfg, zones, cpd);
@@ -127,8 +139,17 @@ fn table2(zones: &Zones, cpd: u32) {
         );
     }
     hline(104);
-    let (qs, gs) = (quadro.steps_total_sim_secs_at_scale(f), titan.steps_total_sim_secs_at_scale(f));
-    println!("{:<52} {:>9.2} {:>9.2} {:>7.2}x |", "Runtimes of 5 steps", qs, gs, qs / gs);
+    let (qs, gs) = (
+        quadro.steps_total_sim_secs_at_scale(f),
+        titan.steps_total_sim_secs_at_scale(f),
+    );
+    println!(
+        "{:<52} {:>9.2} {:>9.2} {:>7.2}x |",
+        "Runtimes of 5 steps",
+        qs,
+        gs,
+        qs / gs
+    );
     // End-to-end: steps + transfers. The raster transfer uses the
     // compression ratio sampled at native 360×360 tile size (tiny-scale
     // tiles cannot compress — headers and padding dominate).
@@ -155,8 +176,13 @@ fn table2(zones: &Zones, cpd: u32) {
         "(raster transfer uses the native-tile compression ratio {:.1}%)",
         native_ratio * 100.0
     );
-    println!("\nworkload: {} cells, {} tiles, {} zones; CPU wall {:.1}s",
-        result.counts.n_cells, result.counts.n_tiles, result.hists.n_zones(), wall);
+    println!(
+        "\nworkload: {} cells, {} tiles, {} zones; CPU wall {:.1}s",
+        result.counts.n_cells,
+        result.counts.n_tiles,
+        result.hists.n_zones(),
+        wall
+    );
     println!(
         "pairs: {} inside / {} intersect / {} outside; PIP-tested cells: {} ({:.1}% of all cells)",
         result.counts.inside_pairs,
@@ -165,8 +191,12 @@ fn table2(zones: &Zones, cpd: u32) {
         result.counts.pip_cells_tested,
         100.0 * result.counts.pip_fraction()
     );
-    println!("compression: {:.1}% of raw ({} -> {} bytes)",
-        100.0 * stats.ratio(), stats.raw_bytes, stats.encoded_bytes);
+    println!(
+        "compression: {:.1}% of raw ({} -> {} bytes)",
+        100.0 * stats.ratio(),
+        stats.raw_bytes,
+        stats.encoded_bytes
+    );
 }
 
 fn fig6(zones: &Zones, cpd: u32, seed: u64) {
@@ -174,7 +204,7 @@ fn fig6(zones: &Zones, cpd: u32, seed: u64) {
     println!("(K20X cost model, measured at {cpd} cells/degree, extrapolated to full scale)\n");
     let base = ClusterConfig::titan(1, cpd, seed);
     let paper: [(usize, f64); 5] = [(1, 60.7), (2, 32.0), (4, 17.5), (8, 10.0), (16, 7.6)];
-    let points = run_scaling(&base, zones, &[1, 2, 4, 8, 16]);
+    let points = run_scaling(&base, zones, &[1, 2, 4, 8, 16]).expect("scaling sweep");
     println!(
         "{:>7} {:>12} {:>12} {:>12} {:>10}",
         "nodes", "sim secs", "speedup", "~paper secs", "max/mean"
@@ -234,7 +264,7 @@ fn imbalance(zones: &Zones, cpd: u32, seed: u64) {
     println!("\n== §IV.C: load imbalance across nodes ==\n");
     for n in [8usize, 16] {
         let cfg = ClusterConfig::titan(n, cpd, seed);
-        let run = zonal_cluster::run_cluster(&cfg, zones);
+        let run = zonal_cluster::run_cluster(&cfg, zones).expect("cluster run");
         let im = run.imbalance;
         println!(
             "{n:>2} nodes: node sim secs min {:.2} / mean {:.2} / max {:.2}; max/mean {:.2}; efficiency ceiling {:.0}%",
@@ -244,7 +274,8 @@ fn imbalance(zones: &Zones, cpd: u32, seed: u64) {
             im.max_over_mean,
             100.0 * im.efficiency()
         );
-        let mut edge: Vec<(usize, u64)> = run.nodes.iter().map(|r| (r.rank, r.edge_tests)).collect();
+        let mut edge: Vec<(usize, u64)> =
+            run.nodes.iter().map(|r| (r.rank, r.edge_tests)).collect();
         edge.sort_by_key(|&(_, e)| std::cmp::Reverse(e));
         let (hot, cold) = (edge.first().expect("nodes"), edge.last().expect("nodes"));
         println!(
@@ -273,14 +304,20 @@ fn baseline_cmp(zones: &Zones, cpd: u32, seed: u64) {
     let scan = baseline::scanline_parallel(&zones.layer, &raster, cfg.n_bins);
     let t_scan = t.elapsed().as_secs_f64();
     assert_eq!(pipe.hists, pip, "pipeline must agree with the PIP oracle");
-    assert_eq!(pipe.hists, scan, "pipeline must agree with the scanline oracle");
+    assert_eq!(
+        pipe.hists, scan,
+        "pipeline must agree with the scanline oracle"
+    );
     println!("partition: {} ({} cells)", part.raster_name, part.cells());
     println!("{:<36} {:>10}", "method", "wall secs");
     hline(48);
     println!("{:<36} {:>10.3}", "4-step pipeline (this paper)", t_pipe);
     println!("{:<36} {:>10.3}", "full point-in-polygon baseline", t_pip);
     println!("{:<36} {:>10.3}", "scanline rasterization baseline", t_scan);
-    println!("\nresults identical across all three methods ({} cells histogrammed)", pipe.hists.total());
+    println!(
+        "\nresults identical across all three methods ({} cells histogrammed)",
+        pipe.hists.total()
+    );
     println!(
         "on the simulated {}: pipeline steps take {:.3}s at this scale — the CPU wall",
         cfg.device.name,
@@ -311,7 +348,9 @@ fn ablate_tile(zones: &Zones, cpd: u32, seed: u64) {
             r.timings.steps_total_sim_secs_at_scale(cell_factor(cpd))
         );
     }
-    println!("\nsmaller tiles: more per-tile histogram memory, fewer PIP-tested cells; and vice versa.");
+    println!(
+        "\nsmaller tiles: more per-tile histogram memory, fewer PIP-tested cells; and vice versa."
+    );
 }
 
 fn schedule(zones: &Zones, cpd: u32, seed: u64) {
@@ -319,12 +358,11 @@ fn schedule(zones: &Zones, cpd: u32, seed: u64) {
     println!("(per-partition costs measured by running the pipeline; makespans simulated)\n");
     let cfg = paper_cfg(DeviceSpec::tesla_k20x());
     let f = cell_factor(cpd);
-    let (costs, cells) =
-        zonal_cluster::measure_partition_costs(&cfg, zones, cpd, seed, f);
+    let (costs, cells) = zonal_cluster::measure_partition_costs(&cfg, zones, cpd, seed, f);
     let total: f64 = costs.iter().sum();
-    let (min_c, max_c) = costs
-        .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+    let (min_c, max_c) = costs.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &c| {
+        (lo.min(c), hi.max(c))
+    });
     println!(
         "36 partitions: cost min {min_c:.2}s / max {max_c:.2}s (skew {:.1}x), serial total {total:.1}s\n",
         max_c / min_c
@@ -346,7 +384,10 @@ fn schedule(zones: &Zones, cpd: u32, seed: u64) {
             o16.extra_messages
         );
     }
-    println!("\nlower bound at 16 nodes (perfect balance): {:.2}s", total / 16.0);
+    println!(
+        "\nlower bound at 16 nodes (perfect balance): {:.2}s",
+        total / 16.0
+    );
 }
 
 fn occupancy_table(zones: &Zones) {
@@ -416,7 +457,12 @@ fn simplify_tradeoff(zones: &Zones, cpd: u32, seed: u64) {
         let (zl, r) = if eps == 0.0 {
             (zones.layer.total_vertices(), exact.clone())
         } else {
-            let polys = zones.layer.polygons().iter().map(|p| simplify_polygon(p, eps)).collect();
+            let polys = zones
+                .layer
+                .polygons()
+                .iter()
+                .map(|p| simplify_polygon(p, eps))
+                .collect();
             let simplified = Zones::new(zonal_geo::PolygonLayer::from_polygons(polys));
             let r = zonal_core::run_partition(&cfg, &simplified, &src);
             (simplified.layer.total_vertices(), r)
@@ -459,8 +505,14 @@ fn main() {
     let need_zones = run_all
         || matches!(
             exp,
-            "table2" | "fig6" | "imbalance" | "baseline" | "ablate-tile" | "schedule"
-                | "occupancy" | "simplify"
+            "table2"
+                | "fig6"
+                | "imbalance"
+                | "baseline"
+                | "ablate-tile"
+                | "schedule"
+                | "occupancy"
+                | "simplify"
         );
     let zones = if need_zones {
         let t = Instant::now();
@@ -480,34 +532,66 @@ fn main() {
         table2(zones.as_ref().expect("zones"), args.cpd.unwrap_or(120));
     }
     if run_all || exp == "fig6" {
-        fig6(zones.as_ref().expect("zones"), args.cpd.unwrap_or(60), args.seed);
+        fig6(
+            zones.as_ref().expect("zones"),
+            args.cpd.unwrap_or(60),
+            args.seed,
+        );
     }
     if run_all || exp == "compression" {
         compression(args.cpd.unwrap_or(120), args.seed);
     }
     if run_all || exp == "imbalance" {
-        imbalance(zones.as_ref().expect("zones"), args.cpd.unwrap_or(60), args.seed);
+        imbalance(
+            zones.as_ref().expect("zones"),
+            args.cpd.unwrap_or(60),
+            args.seed,
+        );
     }
     if run_all || exp == "baseline" {
-        baseline_cmp(zones.as_ref().expect("zones"), args.cpd.unwrap_or(60), args.seed);
+        baseline_cmp(
+            zones.as_ref().expect("zones"),
+            args.cpd.unwrap_or(60),
+            args.seed,
+        );
     }
     if run_all || exp == "ablate-tile" {
-        ablate_tile(zones.as_ref().expect("zones"), args.cpd.unwrap_or(60), args.seed);
+        ablate_tile(
+            zones.as_ref().expect("zones"),
+            args.cpd.unwrap_or(60),
+            args.seed,
+        );
     }
     if run_all || exp == "schedule" {
-        schedule(zones.as_ref().expect("zones"), args.cpd.unwrap_or(30), args.seed);
+        schedule(
+            zones.as_ref().expect("zones"),
+            args.cpd.unwrap_or(30),
+            args.seed,
+        );
     }
     if run_all || exp == "occupancy" {
         occupancy_table(zones.as_ref().expect("zones"));
     }
     if run_all || exp == "simplify" {
-        simplify_tradeoff(zones.as_ref().expect("zones"), args.cpd.unwrap_or(40), args.seed);
+        simplify_tradeoff(
+            zones.as_ref().expect("zones"),
+            args.cpd.unwrap_or(40),
+            args.seed,
+        );
     }
     if !run_all
         && !matches!(
             exp,
-            "table1" | "table2" | "fig6" | "compression" | "imbalance" | "baseline"
-                | "ablate-tile" | "schedule" | "occupancy" | "simplify"
+            "table1"
+                | "table2"
+                | "fig6"
+                | "compression"
+                | "imbalance"
+                | "baseline"
+                | "ablate-tile"
+                | "schedule"
+                | "occupancy"
+                | "simplify"
         )
     {
         eprintln!("unknown experiment '{exp}'; see --help text in the source header");

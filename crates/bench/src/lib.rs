@@ -106,7 +106,11 @@ pub fn run_full_compressed(
     }
     (
         merged.expect("catalog has partitions"),
-        zonal_bqtree::CompressionStats { raw_bytes: raw, encoded_bytes: enc, n_tiles },
+        zonal_bqtree::CompressionStats {
+            raw_bytes: raw,
+            encoded_bytes: enc,
+            n_tiles,
+        },
     )
 }
 

@@ -66,7 +66,10 @@ fn decode_region(bm: &mut Bitmap, r: &mut BitReader<'_>, r0: usize, c0: usize, s
 /// assert_eq!(decode_tile(&encoded), tile, "lossless");
 /// ```
 pub fn encode_tile(tile: &TileData) -> Bytes {
-    assert!(tile.rows > 0 && tile.cols > 0, "cannot encode an empty tile");
+    assert!(
+        tile.rows > 0 && tile.cols > 0,
+        "cannot encode an empty tile"
+    );
     assert!(
         tile.rows <= u16::MAX as usize && tile.cols <= u16::MAX as usize,
         "tile dimension exceeds the u16 header"
@@ -159,7 +162,10 @@ mod tests {
         let n = roundtrip(&tile);
         let raw = 64 * 64 * 2;
         // Noise costs ≈ (2 + 16)/16 bits per cell per plane ≈ 1.13× raw + tree overhead.
-        assert!(n < raw * 2, "even noise stays under 2× raw, got {n} vs {raw}");
+        assert!(
+            n < raw * 2,
+            "even noise stays under 2× raw, got {n} vs {raw}"
+        );
     }
 
     #[test]
@@ -172,7 +178,10 @@ mod tests {
         let enc = encode_tile(&tile);
         let raw = rows * cols * 2;
         let ratio = enc.len() as f64 / raw as f64;
-        assert!(ratio < 0.35, "gradient should compress to <35% of raw, got {ratio:.2}");
+        assert!(
+            ratio < 0.35,
+            "gradient should compress to <35% of raw, got {ratio:.2}"
+        );
         assert_eq!(decode_tile(&enc), tile);
     }
 

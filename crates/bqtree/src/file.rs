@@ -61,7 +61,11 @@ pub fn write_bq<W: Write>(w: &mut W, bq: &BqRaster) -> Result<(), BqFileError> {
     let grid = bq.grid_ref();
     w.write_all(&MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
-    for v in [grid.raster_rows() as u64, grid.raster_cols() as u64, grid.tile_cells() as u64] {
+    for v in [
+        grid.raster_rows() as u64,
+        grid.raster_cols() as u64,
+        grid.tile_cells() as u64,
+    ] {
         w.write_all(&v.to_le_bytes())?;
     }
     let gt = grid.transform();
@@ -175,7 +179,12 @@ mod tests {
         let back = read_bq(&mut buf.as_slice()).expect("read");
         assert_eq!(back.grid_ref(), bq.grid_ref());
         for t in bq.grid_ref().iter() {
-            assert_eq!(back.tile(t.tx, t.ty), bq.tile(t.tx, t.ty), "tile {:?}", (t.tx, t.ty));
+            assert_eq!(
+                back.tile(t.tx, t.ty),
+                bq.tile(t.tx, t.ty),
+                "tile {:?}",
+                (t.tx, t.ty)
+            );
             assert_eq!(back.encoded_tile(t.tx, t.ty), bq.encoded_tile(t.tx, t.ty));
         }
     }
@@ -194,7 +203,10 @@ mod tests {
     #[test]
     fn wrong_magic() {
         let buf = b"ZRASxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx".to_vec();
-        assert!(matches!(read_bq(&mut buf.as_slice()), Err(BqFileError::NotABqFile)));
+        assert!(matches!(
+            read_bq(&mut buf.as_slice()),
+            Err(BqFileError::NotABqFile)
+        ));
     }
 
     #[test]
@@ -203,7 +215,10 @@ mod tests {
         let mut buf = Vec::new();
         write_bq(&mut buf, &bq).expect("write");
         buf.truncate(buf.len() - 5);
-        assert!(matches!(read_bq(&mut buf.as_slice()), Err(BqFileError::Corrupt(_))));
+        assert!(matches!(
+            read_bq(&mut buf.as_slice()),
+            Err(BqFileError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -14,9 +14,16 @@ impl Bitmap {
     /// All-zero bitmap. `side` must be a power of two and ≥ 4 (the literal
     /// leaf size).
     pub fn zero(side: usize) -> Self {
-        assert!(side.is_power_of_two() && side >= 4, "side must be a power of two ≥ 4");
+        assert!(
+            side.is_power_of_two() && side >= 4,
+            "side must be a power of two ≥ 4"
+        );
         let words_per_row = side.div_ceil(64);
-        Bitmap { side, words_per_row, words: vec![0; words_per_row * side] }
+        Bitmap {
+            side,
+            words_per_row,
+            words: vec![0; words_per_row * side],
+        }
     }
 
     /// Smallest legal bitmap side covering a `rows × cols` tile.

@@ -71,7 +71,15 @@ impl BqRaster {
         let raw_bytes: u64 = grid.iter().map(|t| (t.rows * t.cols * 2) as u64).sum();
         let encoded_bytes: u64 = tiles.iter().map(|b| b.len() as u64).sum();
         let n_tiles = tiles.len() as u64;
-        Ok(BqRaster { grid, tiles, stats: CompressionStats { raw_bytes, encoded_bytes, n_tiles } })
+        Ok(BqRaster {
+            grid,
+            tiles,
+            stats: CompressionStats {
+                raw_bytes,
+                encoded_bytes,
+                n_tiles,
+            },
+        })
     }
 
     /// Encoded bytes of tile `(tx, ty)` without decoding it.
@@ -108,7 +116,11 @@ pub fn compress_source(src: &impl TileSource) -> BqRaster {
         .collect();
     let raw_bytes: u64 = grid.iter().map(|t| (t.rows * t.cols * 2) as u64).sum();
     let encoded_bytes: u64 = tiles.iter().map(|b| b.len() as u64).sum();
-    let stats = CompressionStats { raw_bytes, encoded_bytes, n_tiles: n as u64 };
+    let stats = CompressionStats {
+        raw_bytes,
+        encoded_bytes,
+        n_tiles: n as u64,
+    };
     BqRaster { grid, tiles, stats }
 }
 
@@ -119,13 +131,20 @@ mod tests {
     use zonal_raster::{GeoTransform, Raster};
 
     fn grid(rows: usize, cols: usize, tile: usize) -> TileGrid {
-        TileGrid::new(rows, cols, tile, GeoTransform::new(-100.0, 35.0, 0.01, 0.01))
+        TileGrid::new(
+            rows,
+            cols,
+            tile,
+            GeoTransform::new(-100.0, 35.0, 0.01, 0.01),
+        )
     }
 
     #[test]
     fn roundtrip_through_store() {
         let g = grid(50, 70, 16);
-        let raster = Raster::from_fn(50, 70, *g.transform(), |r, c| ((r * 7 + c * 3) % 997) as u16);
+        let raster = Raster::from_fn(50, 70, *g.transform(), |r, c| {
+            ((r * 7 + c * 3) % 997) as u16
+        });
         let bq = compress_source(&raster.tile_source(&g));
         for t in g.iter() {
             let dec = bq.tile(t.tx, t.ty);
@@ -160,7 +179,10 @@ mod tests {
         let raster = Raster::filled(32, 32, 7, *g.transform());
         let bq = compress_source(&raster.tile_source(&g));
         for t in g.iter() {
-            assert_eq!(bq.tile_encoded_bytes(t.tx, t.ty), bq.encoded_tile(t.tx, t.ty).len());
+            assert_eq!(
+                bq.tile_encoded_bytes(t.tx, t.ty),
+                bq.encoded_tile(t.tx, t.ty).len()
+            );
             // Power-of-two constant tiles: 4-byte header + 4 bytes of codes.
             assert_eq!(bq.tile_encoded_bytes(t.tx, t.ty), 8);
         }

@@ -34,7 +34,14 @@ impl ImbalanceReport {
         } else {
             (1.0, 0.0)
         };
-        ImbalanceReport { n_nodes: secs.len(), max_secs: max, min_secs: min, mean_secs: mean, max_over_mean, cv }
+        ImbalanceReport {
+            n_nodes: secs.len(),
+            max_secs: max,
+            min_secs: min,
+            mean_secs: mean,
+            max_over_mean,
+            cv,
+        }
     }
 
     /// Parallel efficiency implied by the imbalance alone (ignoring

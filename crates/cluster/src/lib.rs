@@ -14,20 +14,37 @@
 //!   partitions (for real, on the shared CPU pool) and report simulated
 //!   K20X seconds;
 //! * [`run`] — the scaling driver that regenerates Fig. 6 plus the §IV.C
-//!   single-node comparison; and
+//!   single-node comparison;
 //! * [`imbalance`] — the load-balance metrics behind the paper's
-//!   "southern-Florida tiles" discussion.
+//!   "southern-Florida tiles" discussion;
+//! * [`error`] — typed failures ([`ClusterError`]) and the
+//!   [`RecoveryPolicy`] selecting how the runners react to them; and
+//! * [`fault`] — seeded deterministic fault injection (node crashes,
+//!   message loss/delay/corruption) for chaos-testing the runners.
+//!
+//! Unlike the paper's MPI job, both runners tolerate worker failures:
+//! the master detects silent deaths via receive timeouts plus a control
+//! channel probe, retransmits lost or corrupt result messages (checksum
+//! verified), and — under [`RecoveryPolicy::Reassign`] — redistributes a
+//! dead node's partitions so the combined histograms stay bit-identical
+//! to a fault-free run.
 
 pub mod comm;
 pub mod dynamic;
+pub mod error;
+pub mod fault;
 pub mod imbalance;
 pub mod node;
 pub mod run;
 pub mod schedule;
 
 pub use comm::{Cluster, Comm, NetworkModel};
+pub use dynamic::run_dynamic;
+pub use error::{ClusterError, ClusterResult, RecoveryPolicy};
+pub use fault::{checksum_u64s, FaultInjector, FaultPlan, MsgFault};
 pub use imbalance::ImbalanceReport;
 pub use node::{NodeInput, NodeReport};
 pub use run::{run_cluster, run_scaling, Assignment, ClusterConfig, ClusterRun, ScalingPoint};
-pub use dynamic::run_dynamic;
-pub use schedule::{measure_partition_costs, simulate, Policy, ScheduleOutcome};
+pub use schedule::{
+    measure_partition_costs, reassignment_makespan, simulate, Policy, ScheduleOutcome,
+};

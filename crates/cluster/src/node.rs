@@ -33,6 +33,26 @@ pub struct NodeReport {
     pub n_cells: u64,
     /// Step 4 edge tests — the load-imbalance driver (§IV.C).
     pub edge_tests: u64,
+    /// Whether this rank failed during the run (crash fault). A `true`
+    /// report either carries zeros (work reassigned to survivors) or the
+    /// numbers of a successful retry attempt.
+    pub failed: bool,
+}
+
+impl NodeReport {
+    /// Placeholder report for a rank that died and whose work was
+    /// reassigned: it contributed nothing to the combined result.
+    pub fn failed(rank: usize) -> Self {
+        NodeReport {
+            rank,
+            n_partitions: 0,
+            sim_secs: 0.0,
+            wall_secs: 0.0,
+            n_cells: 0,
+            edge_tests: 0,
+            failed: true,
+        }
+    }
 }
 
 /// Run one node's share: the pipeline over each owned partition, merged.
@@ -62,6 +82,7 @@ pub fn run_node(input: &NodeInput, zones: &Zones, cell_factor: f64) -> (ZonalRes
         wall_secs: t.elapsed().as_secs_f64(),
         n_cells: result.counts.n_cells,
         edge_tests: result.counts.edge_tests,
+        failed: false,
     };
     (result, report)
 }
@@ -111,7 +132,12 @@ mod tests {
 
     #[test]
     fn empty_node_is_valid() {
-        let input = NodeInput { rank: 9, partitions: vec![], pipeline: tiny_pipeline(), seed: 1 };
+        let input = NodeInput {
+            rank: 9,
+            partitions: vec![],
+            pipeline: tiny_pipeline(),
+            seed: 1,
+        };
         let zones = tiny_zones();
         let (result, report) = run_node(&input, &zones, 1.0);
         assert_eq!(report.n_cells, 0);

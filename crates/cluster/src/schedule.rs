@@ -97,9 +97,10 @@ pub fn simulate(
     assert!(n_nodes > 0, "need at least one node");
     assert_eq!(costs.len(), cells.len());
     let (node_loads, extra_messages) = match policy {
-        Policy::StaticRoundRobin => {
-            (loads_of(&assign_round_robin(costs.len(), n_nodes), costs), 0)
-        }
+        Policy::StaticRoundRobin => (
+            loads_of(&assign_round_robin(costs.len(), n_nodes), costs),
+            0,
+        ),
         Policy::StaticByCells => (loads_of(&assign_balanced(cells, n_nodes), costs), 0),
         Policy::OracleLpt => {
             let weights: Vec<u64> = costs.iter().map(|&c| (c * 1e6) as u64).collect();
@@ -119,7 +120,32 @@ pub fn simulate(
         }
     };
     let makespan = node_loads.iter().fold(0.0f64, |a, &b| a.max(b));
-    ScheduleOutcome { policy, n_nodes, makespan, node_loads, extra_messages }
+    ScheduleOutcome {
+        policy,
+        n_nodes,
+        makespan,
+        node_loads,
+        extra_messages,
+    }
+}
+
+/// Simulated makespan of re-executing orphaned partitions (a crashed
+/// node's share) across `n_survivors` surviving nodes: greedy
+/// longest-processing-time assignment, each orphan to the currently
+/// least-loaded survivor. This is the recovery cost the fault-tolerant
+/// runners add to the end-to-end time after a reassignment.
+pub fn reassignment_makespan(orphan_costs: &[f64], n_survivors: usize) -> f64 {
+    assert!(n_survivors > 0, "reassignment needs at least one survivor");
+    let mut order: Vec<usize> = (0..orphan_costs.len()).collect();
+    order.sort_by(|&a, &b| orphan_costs[b].total_cmp(&orphan_costs[a]).then(a.cmp(&b)));
+    let mut loads = vec![0.0f64; n_survivors];
+    for i in order {
+        let node = (0..n_survivors)
+            .min_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(a.cmp(&b)))
+            .expect("n_survivors > 0");
+        loads[node] += orphan_costs[i];
+    }
+    loads.iter().fold(0.0f64, |a, &b| a.max(b))
 }
 
 fn loads_of(assignment: &[Vec<usize>], costs: &[f64]) -> Vec<f64> {
@@ -137,7 +163,13 @@ mod tests {
     /// partitions, several light coverage-edge ones.
     fn skewed() -> (Vec<f64>, Vec<u64>) {
         let costs: Vec<f64> = (0..36)
-            .map(|i| if i % 6 == 0 { 10.0 } else { 2.0 + (i % 5) as f64 * 0.5 })
+            .map(|i| {
+                if i % 6 == 0 {
+                    10.0
+                } else {
+                    2.0 + (i % 5) as f64 * 0.5
+                }
+            })
             .collect();
         // Cells uncorrelated with cost (edge partitions have many cells but
         // little Step-4 work).
@@ -156,7 +188,10 @@ mod tests {
                 (scheduled - total).abs() < 1e-9,
                 "{policy:?}: {scheduled} vs {total}"
             );
-            assert!(o.makespan >= total / 8.0 - 1e-9, "{policy:?} beats the lower bound");
+            assert!(
+                o.makespan >= total / 8.0 - 1e-9,
+                "{policy:?} beats the lower bound"
+            );
         }
     }
 
@@ -206,6 +241,19 @@ mod tests {
         for s in &spans {
             assert!((s - 6.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn reassignment_makespan_balances_orphans() {
+        // One survivor carries everything.
+        let orphans = [3.0, 1.0, 2.0];
+        assert!((reassignment_makespan(&orphans, 1) - 6.0).abs() < 1e-9);
+        // LPT over two survivors: {3.0} vs {2.0, 1.0}.
+        assert!((reassignment_makespan(&orphans, 2) - 3.0).abs() < 1e-9);
+        // More survivors than orphans: the heaviest orphan bounds it.
+        assert!((reassignment_makespan(&orphans, 8) - 3.0).abs() < 1e-9);
+        // Nothing orphaned costs nothing.
+        assert_eq!(reassignment_makespan(&[], 4), 0.0);
     }
 
     #[test]

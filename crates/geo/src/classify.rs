@@ -122,7 +122,11 @@ mod tests {
 
     #[test]
     fn codes_roundtrip() {
-        for r in [TileRelation::Outside, TileRelation::Inside, TileRelation::Intersect] {
+        for r in [
+            TileRelation::Outside,
+            TileRelation::Inside,
+            TileRelation::Intersect,
+        ] {
             assert_eq!(TileRelation::from_code(r.code()), Some(r));
         }
         assert_eq!(TileRelation::from_code(3), None);
@@ -182,7 +186,10 @@ mod tests {
         let in_shell = Mbr::new(1.0, 1.0, 2.0, 2.0);
         assert_eq!(classify_box(&poly, &in_shell), TileRelation::Inside);
         let across_hole_edge = Mbr::new(2.5, 4.0, 3.5, 5.0);
-        assert_eq!(classify_box(&poly, &across_hole_edge), TileRelation::Intersect);
+        assert_eq!(
+            classify_box(&poly, &across_hole_edge),
+            TileRelation::Intersect
+        );
     }
 
     #[test]
@@ -200,10 +207,10 @@ mod tests {
             Ring::circle(Point::new(5.0, 5.0), 1.0, 32),
         ]);
         let cases = [
-            Mbr::new(4.7, 4.7, 5.3, 5.3),   // in hole
-            Mbr::new(5.0, 6.5, 5.5, 7.0),   // in annulus
-            Mbr::new(0.0, 0.0, 1.0, 1.0),   // outside
-            Mbr::new(7.5, 4.5, 8.5, 5.5),   // straddles outer boundary
+            Mbr::new(4.7, 4.7, 5.3, 5.3), // in hole
+            Mbr::new(5.0, 6.5, 5.5, 7.0), // in annulus
+            Mbr::new(0.0, 0.0, 1.0, 1.0), // outside
+            Mbr::new(7.5, 4.5, 8.5, 5.5), // straddles outer boundary
         ];
         for tile in &cases {
             let exact = classify_box(&poly, tile);

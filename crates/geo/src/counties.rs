@@ -178,7 +178,10 @@ struct Tessellator<'a> {
 
 impl<'a> Tessellator<'a> {
     fn new(cfg: &'a CountyConfig) -> Self {
-        assert!(cfg.nx >= 1 && cfg.ny >= 1, "tessellation needs at least one cell");
+        assert!(
+            cfg.nx >= 1 && cfg.ny >= 1,
+            "tessellation needs at least one cell"
+        );
         assert!(!cfg.extent.is_empty(), "extent must be non-empty");
         Tessellator {
             cfg,
@@ -212,7 +215,15 @@ impl<'a> Tessellator<'a> {
     /// (`a` → `b`). The perpendicular wiggle amplitude is bounded well below
     /// the sub-segment length, which keeps cells simple (non-self-
     /// intersecting) for any jitter ≤ 0.3.
-    fn edge_points(&self, tag: u64, ei: usize, ej: usize, a: Point, b: Point, boundary: bool) -> Vec<Point> {
+    fn edge_points(
+        &self,
+        tag: u64,
+        ei: usize,
+        ej: usize,
+        a: Point,
+        b: Point,
+        boundary: bool,
+    ) -> Vec<Point> {
         let s = self.cfg.edge_subdiv;
         if s == 0 {
             return Vec::new();
@@ -224,15 +235,14 @@ impl<'a> Tessellator<'a> {
         }
         // Perpendicular unit vector (rotate left).
         let perp = Point::new(-d.y / len, d.x / len);
-        let amp = if boundary { 0.0 } else { 0.35 * len / (s as f64 + 1.0) };
+        let amp = if boundary {
+            0.0
+        } else {
+            0.35 * len / (s as f64 + 1.0)
+        };
         (1..=s)
             .map(|t| {
-                let h = hash3(
-                    self.cfg.seed,
-                    tag,
-                    (ei as u64) << 32 | ej as u64,
-                    t as u64,
-                );
+                let h = hash3(self.cfg.seed, tag, (ei as u64) << 32 | ej as u64, t as u64);
                 let along = t as f64 / (s as f64 + 1.0);
                 a.lerp(b, along) + perp * (sym(h) * amp)
             })
@@ -388,7 +398,11 @@ mod tests {
                     cfg.extent.min_x + cfg.extent.width() * (i as f64 + 0.371) / n as f64,
                     cfg.extent.min_y + cfg.extent.height() * (j as f64 + 0.583) / n as f64,
                 );
-                let owners = layer.polygons().iter().filter(|poly| poly.contains(p)).count();
+                let owners = layer
+                    .polygons()
+                    .iter()
+                    .filter(|poly| poly.contains(p))
+                    .count();
                 assert!(owners <= 1, "point {p:?} claimed by {owners} zones");
                 if owners == 0 {
                     in_none += 1;
@@ -410,7 +424,10 @@ mod tests {
             (82_000..=92_000).contains(&v),
             "vertex count {v} should be near 87,097"
         );
-        assert!(layer.multi_ring_count() > 0, "must contain multi-ring polygons");
+        assert!(
+            layer.multi_ring_count() > 0,
+            "must contain multi-ring polygons"
+        );
     }
 
     #[test]
@@ -433,7 +450,11 @@ mod tests {
         cfg.island_fraction = 1.0;
         let layer = cfg.generate();
         for (name, poly) in layer.iter() {
-            assert_eq!(poly.rings().len(), 3, "{name} should have shell+hole+island");
+            assert_eq!(
+                poly.rings().len(),
+                3,
+                "{name} should have shell+hole+island"
+            );
             let shell_mbr = poly.rings()[0].mbr();
             for ring in &poly.rings()[1..] {
                 assert!(

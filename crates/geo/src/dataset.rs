@@ -110,7 +110,10 @@ mod tests {
     fn layer_mbr_and_vertices() {
         let layer = PolygonLayer::from_polygons(vec![
             Polygon::rect(0.0, 0.0, 1.0, 1.0),
-            Polygon::new(vec![Ring::rect(4.0, 4.0, 8.0, 8.0), Ring::rect(5.0, 5.0, 6.0, 6.0)]),
+            Polygon::new(vec![
+                Ring::rect(4.0, 4.0, 8.0, 8.0),
+                Ring::rect(5.0, 5.0, 6.0, 6.0),
+            ]),
         ]);
         assert_eq!(layer.mbr(), Mbr::new(0.0, 0.0, 8.0, 8.0));
         assert_eq!(layer.total_vertices(), 4 + 8);
@@ -131,7 +134,10 @@ mod tests {
     fn total_area_with_holes() {
         let layer = PolygonLayer::from_polygons(vec![
             Polygon::rect(0.0, 0.0, 2.0, 2.0),
-            Polygon::new(vec![Ring::rect(10.0, 0.0, 14.0, 4.0), Ring::rect(11.0, 1.0, 12.0, 2.0)]),
+            Polygon::new(vec![
+                Ring::rect(10.0, 0.0, 14.0, 4.0),
+                Ring::rect(11.0, 1.0, 12.0, 2.0),
+            ]),
         ]);
         assert_eq!(layer.total_area(), 4.0 + (16.0 - 1.0));
     }
@@ -140,7 +146,10 @@ mod tests {
     fn flatten_matches_object_model() {
         let layer = PolygonLayer::from_polygons(vec![
             Polygon::rect(1.0, 1.0, 3.0, 3.0),
-            Polygon::new(vec![Ring::rect(5.0, 5.0, 9.0, 9.0), Ring::rect(6.0, 6.0, 7.0, 7.0)]),
+            Polygon::new(vec![
+                Ring::rect(5.0, 5.0, 9.0, 9.0),
+                Ring::rect(6.0, 6.0, 7.0, 7.0),
+            ]),
         ]);
         let flat = layer.to_flat();
         assert_eq!(flat.len(), layer.len());

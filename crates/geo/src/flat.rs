@@ -92,7 +92,12 @@ impl FlatPolygons {
             ply_v.push(x_v.len() as u32);
             mbrs.push(poly.mbr());
         }
-        FlatPolygons { ply_v, x_v, y_v, mbrs }
+        FlatPolygons {
+            ply_v,
+            x_v,
+            y_v,
+            mbrs,
+        }
     }
 
     /// Number of polygons.
@@ -116,7 +121,11 @@ impl FlatPolygons {
     /// `p_f` / `p_t`.
     #[inline]
     pub fn vertex_range(&self, k: usize) -> (usize, usize) {
-        let start = if k == 0 { 0 } else { self.ply_v[k - 1] as usize };
+        let start = if k == 0 {
+            0
+        } else {
+            self.ply_v[k - 1] as usize
+        };
         (start, self.ply_v[k] as usize)
     }
 
@@ -140,9 +149,7 @@ impl FlatPolygons {
                 continue;
             }
             let (x0, y0) = (self.x_v[j], self.y_v[j]);
-            if ((y0 <= p.y) != (y1 <= p.y))
-                && (p.x < (x1 - x0) * (p.y - y0) / (y1 - y0) + x0)
-            {
+            if ((y0 <= p.y) != (y1 <= p.y)) && (p.x < (x1 - x0) * (p.y - y0) / (y1 - y0) + x0) {
                 inside = !inside;
             }
             j += 1;
@@ -211,7 +218,10 @@ mod tests {
     fn multiple_polygons_ranges() {
         let polys = vec![
             Polygon::rect(1.0, 1.0, 2.0, 2.0),
-            Polygon::new(vec![Ring::rect(5.0, 5.0, 8.0, 8.0), Ring::rect(6.0, 6.0, 7.0, 7.0)]),
+            Polygon::new(vec![
+                Ring::rect(5.0, 5.0, 8.0, 8.0),
+                Ring::rect(6.0, 6.0, 7.0, 7.0),
+            ]),
             Polygon::rect(10.0, 1.0, 12.0, 4.0),
         ];
         let flat = FlatPolygons::from_polygons(&polys);
@@ -234,7 +244,10 @@ mod tests {
     #[test]
     fn sentinel_layout() {
         // Two rings of 4 vertices each: 5 closed + sentinel + 5 closed = 11 slots.
-        let poly = Polygon::new(vec![Ring::rect(1.0, 1.0, 4.0, 4.0), Ring::rect(2.0, 2.0, 3.0, 3.0)]);
+        let poly = Polygon::new(vec![
+            Ring::rect(1.0, 1.0, 4.0, 4.0),
+            Ring::rect(2.0, 2.0, 3.0, 3.0),
+        ]);
         let flat = FlatPolygons::from_polygons(std::slice::from_ref(&poly));
         assert_eq!(flat.slot_count(), 11);
         assert_eq!(flat.x_v[5], RING_SENTINEL.x);
@@ -251,7 +264,10 @@ mod tests {
 
     #[test]
     fn mbrs_preserved() {
-        let polys = vec![Polygon::rect(1.0, 1.0, 2.0, 2.0), Polygon::rect(5.0, 3.0, 9.0, 4.0)];
+        let polys = vec![
+            Polygon::rect(1.0, 1.0, 2.0, 2.0),
+            Polygon::rect(5.0, 3.0, 9.0, 4.0),
+        ];
         let flat = FlatPolygons::from_polygons(&polys);
         assert_eq!(flat.mbrs[1], Mbr::new(5.0, 3.0, 9.0, 4.0));
         assert_eq!(flat.layer_mbr(), Mbr::new(1.0, 1.0, 9.0, 4.0));

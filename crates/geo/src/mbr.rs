@@ -31,7 +31,12 @@ impl Mbr {
 
     #[inline]
     pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
-        Mbr { min_x, min_y, max_x, max_y }
+        Mbr {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
     }
 
     /// MBR of a single point.
@@ -72,7 +77,10 @@ impl Mbr {
     /// Center point. Meaningless for the empty MBR.
     #[inline]
     pub fn center(&self) -> Point {
-        Point::new((self.min_x + self.max_x) * 0.5, (self.min_y + self.max_y) * 0.5)
+        Point::new(
+            (self.min_x + self.max_x) * 0.5,
+            (self.min_y + self.max_y) * 0.5,
+        )
     }
 
     /// Smallest MBR containing both `self` and `other`.
@@ -181,7 +189,11 @@ mod tests {
 
     #[test]
     fn of_points_covers_all() {
-        let pts = [Point::new(1.0, 2.0), Point::new(-1.0, 5.0), Point::new(0.0, 0.0)];
+        let pts = [
+            Point::new(1.0, 2.0),
+            Point::new(-1.0, 5.0),
+            Point::new(0.0, 0.0),
+        ];
         let m = Mbr::of_points(&pts);
         assert_eq!(m, Mbr::new(-1.0, 0.0, 1.0, 5.0));
         for p in pts {
@@ -210,7 +222,10 @@ mod tests {
     fn touching_edges_intersect() {
         let a = Mbr::new(0.0, 0.0, 1.0, 1.0);
         let b = Mbr::new(1.0, 0.0, 2.0, 1.0);
-        assert!(a.intersects(&b), "closed rectangles sharing an edge intersect");
+        assert!(
+            a.intersects(&b),
+            "closed rectangles sharing an edge intersect"
+        );
         assert_eq!(a.intersection(&b).area(), 0.0);
     }
 

@@ -28,9 +28,7 @@ pub fn point_in_ring(p: Point, ring: &Ring) -> bool {
     let mut j = n - 1;
     for i in 0..n {
         let (a, b) = (pts[j], pts[i]);
-        if ((a.y <= p.y) != (b.y <= p.y))
-            && (p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x)
-        {
+        if ((a.y <= p.y) != (b.y <= p.y)) && (p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x) {
             inside = !inside;
         }
         j = i;
@@ -104,7 +102,10 @@ mod tests {
         let p = Point::new(0.5, 1.5);
         assert!(point_in_ring(p, &r));
         r.reverse();
-        assert!(point_in_ring(p, &r), "crossing parity ignores winding direction");
+        assert!(
+            point_in_ring(p, &r),
+            "crossing parity ignores winding direction"
+        );
     }
 
     #[test]
@@ -116,7 +117,10 @@ mod tests {
         let p = Point::new(1.0, 0.5);
         let in_left = point_in_ring(p, &left);
         let in_right = point_in_ring(p, &right);
-        assert!(in_left ^ in_right, "boundary point must belong to exactly one square");
+        assert!(
+            in_left ^ in_right,
+            "boundary point must belong to exactly one square"
+        );
     }
 
     #[test]
@@ -164,7 +168,10 @@ mod tests {
 
     #[test]
     fn parity_with_hole() {
-        let rings = vec![Ring::rect(0.0, 0.0, 4.0, 4.0), Ring::rect(1.0, 1.0, 3.0, 3.0)];
+        let rings = vec![
+            Ring::rect(0.0, 0.0, 4.0, 4.0),
+            Ring::rect(1.0, 1.0, 3.0, 3.0),
+        ];
         assert!(point_in_polygon(Point::new(0.5, 0.5), &rings));
         assert!(!point_in_polygon(Point::new(2.0, 2.0), &rings));
         assert!(!point_in_polygon(Point::new(5.0, 5.0), &rings));
@@ -173,7 +180,13 @@ mod tests {
     #[test]
     fn winding_agrees_on_interior_points() {
         let c = Ring::circle(Point::new(0.0, 0.0), 1.0, 17);
-        for (x, y) in [(0.0, 0.0), (0.5, 0.3), (-0.4, -0.6), (1.5, 0.0), (0.0, -1.2)] {
+        for (x, y) in [
+            (0.0, 0.0),
+            (0.5, 0.3),
+            (-0.4, -0.6),
+            (1.5, 0.0),
+            (0.0, -1.2),
+        ] {
             let p = Point::new(x, y);
             assert_eq!(
                 point_in_ring(p, &c),

@@ -46,7 +46,10 @@ impl Point {
     /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
     #[inline]
     pub fn lerp(&self, other: Point, t: f64) -> Point {
-        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
     }
 
     /// True when both coordinates are finite.
@@ -139,9 +142,19 @@ mod tests {
     fn orientation_signs() {
         let o = Point::new(0.0, 0.0);
         let e = Point::new(1.0, 0.0);
-        assert!(orient2d(o, e, Point::new(0.0, 1.0)) > 0.0, "ccw is positive");
-        assert!(orient2d(o, e, Point::new(0.0, -1.0)) < 0.0, "cw is negative");
-        assert_eq!(orient2d(o, e, Point::new(2.0, 0.0)), 0.0, "collinear is zero");
+        assert!(
+            orient2d(o, e, Point::new(0.0, 1.0)) > 0.0,
+            "ccw is positive"
+        );
+        assert!(
+            orient2d(o, e, Point::new(0.0, -1.0)) < 0.0,
+            "cw is negative"
+        );
+        assert_eq!(
+            orient2d(o, e, Point::new(2.0, 0.0)),
+            0.0,
+            "collinear is zero"
+        );
     }
 
     #[test]

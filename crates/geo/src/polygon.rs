@@ -125,7 +125,10 @@ mod tests {
         let outer = Ring::rect(0.0, 0.0, 10.0, 10.0);
         let hole = Ring::rect(4.0, 4.0, 6.0, 6.0);
         let p = Polygon::new(vec![outer, hole]);
-        assert!(p.contains(Point::new(1.0, 1.0)), "inside shell, outside hole");
+        assert!(
+            p.contains(Point::new(1.0, 1.0)),
+            "inside shell, outside hole"
+        );
         assert!(!p.contains(Point::new(5.0, 5.0)), "inside the hole");
         assert_eq!(p.area(), 100.0 - 4.0);
     }

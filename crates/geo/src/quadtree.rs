@@ -26,7 +26,11 @@ struct Node {
 
 impl Node {
     fn new(bounds: Mbr) -> Node {
-        Node { bounds, items: Vec::new(), children: None }
+        Node {
+            bounds,
+            items: Vec::new(),
+            children: None,
+        }
     }
 
     fn quadrants(&self) -> [Mbr; 4] {
@@ -54,8 +58,11 @@ impl Node {
                             Node::new(quads[3]),
                         ]));
                     }
-                    self.children.as_mut().expect("just created")[qi]
-                        .insert(id, mbr, depth_left - 1);
+                    self.children.as_mut().expect("just created")[qi].insert(
+                        id,
+                        mbr,
+                        depth_left - 1,
+                    );
                     return;
                 }
             }
@@ -176,7 +183,12 @@ mod tests {
         let items = grid_mbrs(12, 0.6);
         let qt = MbrQuadtree::build(Mbr::new(0.0, 0.0, 10.0, 10.0), &items, 6);
         assert_eq!(qt.len(), items.len());
-        for (wx, wy, ww) in [(1.0, 1.0, 2.0), (0.0, 0.0, 10.0), (7.3, 2.1, 0.5), (9.9, 9.9, 3.0)] {
+        for (wx, wy, ww) in [
+            (1.0, 1.0, 2.0),
+            (0.0, 0.0, 10.0),
+            (7.3, 2.1, 0.5),
+            (9.9, 9.9, 3.0),
+        ] {
             let w = Mbr::new(wx, wy, wx + ww, wy + ww);
             let mut got = qt.query(&w);
             got.sort_unstable();
@@ -206,13 +218,19 @@ mod tests {
 
     #[test]
     fn items_outside_extent_pinned_at_root() {
-        let items = vec![Mbr::new(100.0, 100.0, 101.0, 101.0), Mbr::new(1.0, 1.0, 2.0, 2.0)];
+        let items = vec![
+            Mbr::new(100.0, 100.0, 101.0, 101.0),
+            Mbr::new(1.0, 1.0, 2.0, 2.0),
+        ];
         let qt = MbrQuadtree::build(Mbr::new(0.0, 0.0, 10.0, 10.0), &items, 4);
         assert_eq!(qt.len(), 2);
         // Out-of-extent items are unreachable by in-extent windows but the
         // index never loses them.
         let got = qt.query(&Mbr::new(99.0, 99.0, 102.0, 102.0));
-        assert!(got.is_empty(), "window outside the root bounds finds nothing");
+        assert!(
+            got.is_empty(),
+            "window outside the root bounds finds nothing"
+        );
     }
 
     #[test]

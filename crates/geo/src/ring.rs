@@ -171,7 +171,11 @@ mod tests {
         assert!(!Ring::new(vec![]).is_valid());
         assert!(!Ring::new(vec![Point::new(0., 0.), Point::new(1., 1.)]).is_valid());
         // Collinear => zero area.
-        let col = Ring::new(vec![Point::new(0., 0.), Point::new(1., 1.), Point::new(2., 2.)]);
+        let col = Ring::new(vec![
+            Point::new(0., 0.),
+            Point::new(1., 1.),
+            Point::new(2., 2.),
+        ]);
         assert!(!col.is_valid());
         assert!(Ring::rect(0., 0., 1., 1.).is_valid());
     }

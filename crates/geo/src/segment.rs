@@ -79,46 +79,95 @@ mod tests {
 
     #[test]
     fn proper_crossing() {
-        assert!(segments_intersect(p(0., 0.), p(2., 2.), p(0., 2.), p(2., 0.)));
+        assert!(segments_intersect(
+            p(0., 0.),
+            p(2., 2.),
+            p(0., 2.),
+            p(2., 0.)
+        ));
     }
 
     #[test]
     fn disjoint_parallel() {
-        assert!(!segments_intersect(p(0., 0.), p(1., 0.), p(0., 1.), p(1., 1.)));
+        assert!(!segments_intersect(
+            p(0., 0.),
+            p(1., 0.),
+            p(0., 1.),
+            p(1., 1.)
+        ));
     }
 
     #[test]
     fn shared_endpoint_counts() {
-        assert!(segments_intersect(p(0., 0.), p(1., 1.), p(1., 1.), p(2., 0.)));
+        assert!(segments_intersect(
+            p(0., 0.),
+            p(1., 1.),
+            p(1., 1.),
+            p(2., 0.)
+        ));
     }
 
     #[test]
     fn t_junction_counts() {
-        assert!(segments_intersect(p(0., 0.), p(2., 0.), p(1., 0.), p(1., 1.)));
+        assert!(segments_intersect(
+            p(0., 0.),
+            p(2., 0.),
+            p(1., 0.),
+            p(1., 1.)
+        ));
     }
 
     #[test]
     fn collinear_overlapping() {
-        assert!(segments_intersect(p(0., 0.), p(2., 0.), p(1., 0.), p(3., 0.)));
+        assert!(segments_intersect(
+            p(0., 0.),
+            p(2., 0.),
+            p(1., 0.),
+            p(3., 0.)
+        ));
     }
 
     #[test]
     fn collinear_disjoint() {
-        assert!(!segments_intersect(p(0., 0.), p(1., 0.), p(2., 0.), p(3., 0.)));
+        assert!(!segments_intersect(
+            p(0., 0.),
+            p(1., 0.),
+            p(2., 0.),
+            p(3., 0.)
+        ));
     }
 
     #[test]
     fn zero_length_on_segment() {
-        assert!(segments_intersect(p(1., 0.), p(1., 0.), p(0., 0.), p(2., 0.)));
-        assert!(!segments_intersect(p(1., 1.), p(1., 1.), p(0., 0.), p(2., 0.)));
+        assert!(segments_intersect(
+            p(1., 0.),
+            p(1., 0.),
+            p(0., 0.),
+            p(2., 0.)
+        ));
+        assert!(!segments_intersect(
+            p(1., 1.),
+            p(1., 1.),
+            p(0., 0.),
+            p(2., 0.)
+        ));
     }
 
     #[test]
     fn point_on_segment_cases() {
         assert!(point_on_segment(p(1., 1.), p(0., 0.), p(2., 2.)));
-        assert!(point_on_segment(p(0., 0.), p(0., 0.), p(2., 2.)), "endpoint is on");
-        assert!(!point_on_segment(p(3., 3.), p(0., 0.), p(2., 2.)), "beyond the end");
-        assert!(!point_on_segment(p(1., 0.), p(0., 0.), p(2., 2.)), "off the line");
+        assert!(
+            point_on_segment(p(0., 0.), p(0., 0.), p(2., 2.)),
+            "endpoint is on"
+        );
+        assert!(
+            !point_on_segment(p(3., 3.), p(0., 0.), p(2., 2.)),
+            "beyond the end"
+        );
+        assert!(
+            !point_on_segment(p(1., 0.), p(0., 0.), p(2., 2.)),
+            "off the line"
+        );
     }
 
     #[test]
@@ -144,8 +193,14 @@ mod tests {
     #[test]
     fn segment_box_touch_corner() {
         let m = Mbr::new(0., 0., 1., 1.);
-        assert!(segment_intersects_box(p(1.0, 1.0), p(2.0, 2.0), &m), "corner touch counts");
-        assert!(segment_intersects_box(p(2.0, 0.0), p(0.0, 2.0), &m), "grazes the (1,1) corner");
+        assert!(
+            segment_intersects_box(p(1.0, 1.0), p(2.0, 2.0), &m),
+            "corner touch counts"
+        );
+        assert!(
+            segment_intersects_box(p(2.0, 0.0), p(0.0, 2.0), &m),
+            "grazes the (1,1) corner"
+        );
     }
 
     #[test]

@@ -93,7 +93,12 @@ pub fn simplify_ring(ring: &Ring, epsilon: f64) -> Ring {
 /// Simplify every ring of a polygon. Rings that would degenerate are kept
 /// as-is (never dropped: parity depends on ring count).
 pub fn simplify_polygon(poly: &Polygon, epsilon: f64) -> Polygon {
-    Polygon::new(poly.rings().iter().map(|r| simplify_ring(r, epsilon)).collect())
+    Polygon::new(
+        poly.rings()
+            .iter()
+            .map(|r| simplify_ring(r, epsilon))
+            .collect(),
+    )
 }
 
 /// Area-difference ratio between a polygon and its simplification:
@@ -147,9 +152,12 @@ mod tests {
             Point::new(10.0, 5.0),
         ];
         let s = simplify_polyline(&pts, 0.5);
-        assert!(s.contains(&Point::new(5.0, 5.0)), "the real corner survives");
-        assert_eq!(s.first(), pts.first().as_deref());
-        assert_eq!(s.last(), pts.last().as_deref());
+        assert!(
+            s.contains(&Point::new(5.0, 5.0)),
+            "the real corner survives"
+        );
+        assert_eq!(s.first(), pts.first());
+        assert_eq!(s.last(), pts.last());
     }
 
     #[test]
@@ -175,7 +183,11 @@ mod tests {
     #[test]
     fn rectangle_is_a_fixed_point() {
         let ring = Ring::rect(0.0, 0.0, 4.0, 3.0);
-        assert_eq!(simplify_ring(&ring, 0.5), ring, "≤4 vertices returned verbatim");
+        assert_eq!(
+            simplify_ring(&ring, 0.5),
+            ring,
+            "≤4 vertices returned verbatim"
+        );
     }
 
     #[test]

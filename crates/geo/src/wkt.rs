@@ -45,8 +45,11 @@ pub fn polygon_to_wkt(poly: &Polygon) -> String {
         .rings()
         .iter()
         .map(|r| {
-            let mut coords: Vec<String> =
-                r.points().iter().map(|p| format!("{} {}", p.x, p.y)).collect();
+            let mut coords: Vec<String> = r
+                .points()
+                .iter()
+                .map(|p| format!("{} {}", p.x, p.y))
+                .collect();
             if let Some(first) = r.points().first() {
                 coords.push(format!("{} {}", first.x, first.y));
             }
@@ -70,7 +73,9 @@ pub fn layer_to_wkt(layer: &PolygonLayer) -> String {
 fn split_groups(s: &str) -> Result<Vec<&str>, WktError> {
     let s = s.trim();
     if !s.starts_with('(') || !s.ends_with(')') {
-        return Err(WktError::Malformed(format!("expected parenthesized group: {s}")));
+        return Err(WktError::Malformed(format!(
+            "expected parenthesized group: {s}"
+        )));
     }
     let inner = &s[1..s.len() - 1];
     let mut depth = 0usize;
@@ -89,7 +94,9 @@ fn split_groups(s: &str) -> Result<Vec<&str>, WktError> {
                     .checked_sub(1)
                     .ok_or_else(|| WktError::Malformed("unbalanced ')'".into()))?;
                 if depth == 0 {
-                    let st = start.take().ok_or_else(|| WktError::Malformed("stray ')'".into()))?;
+                    let st = start
+                        .take()
+                        .ok_or_else(|| WktError::Malformed("stray ')'".into()))?;
                     out.push(&inner[st..=i]);
                 }
             }
@@ -122,12 +129,16 @@ fn parse_ring(group: &str) -> Result<Ring, WktError> {
             .parse()
             .map_err(|_| WktError::BadNumber(pair.trim().to_string()))?;
         if nums.next().is_some() {
-            return Err(WktError::Malformed(format!("more than two coordinates in {pair:?}")));
+            return Err(WktError::Malformed(format!(
+                "more than two coordinates in {pair:?}"
+            )));
         }
         pts.push(Point::new(x, y));
     }
     if pts.len() < 4 {
-        return Err(WktError::Malformed("ring needs at least 4 coordinates (closed)".into()));
+        return Err(WktError::Malformed(
+            "ring needs at least 4 coordinates (closed)".into(),
+        ));
     }
     Ok(Ring::new(pts))
 }
@@ -194,7 +205,10 @@ mod tests {
 
     #[test]
     fn polygon_with_hole_roundtrip() {
-        let poly = Polygon::new(vec![Ring::rect(0.0, 0.0, 10.0, 10.0), Ring::rect(2.0, 2.0, 3.0, 3.0)]);
+        let poly = Polygon::new(vec![
+            Ring::rect(0.0, 0.0, 10.0, 10.0),
+            Ring::rect(2.0, 2.0, 3.0, 3.0),
+        ]);
         let back = polygon_from_wkt(&polygon_to_wkt(&poly)).expect("parse");
         assert_eq!(back, poly);
         assert!(!back.contains(Point::new(2.5, 2.5)));
@@ -218,8 +232,10 @@ mod tests {
 
     #[test]
     fn negative_and_fractional_coordinates() {
-        let p = polygon_from_wkt("POLYGON ((-125.5 24.25, -66 24.25, -66 50.0, -125.5 50.0, -125.5 24.25))")
-            .expect("parse");
+        let p = polygon_from_wkt(
+            "POLYGON ((-125.5 24.25, -66 24.25, -66 50.0, -125.5 50.0, -125.5 24.25))",
+        )
+        .expect("parse");
         assert!(p.contains(Point::new(-100.0, 40.0)));
     }
 
@@ -229,7 +245,10 @@ mod tests {
             polygon_from_wkt("LINESTRING (0 0, 1 1)"),
             Err(WktError::UnsupportedType(_))
         ));
-        assert!(matches!(polygon_from_wkt("POLYGON ((0 0, 1 1"), Err(WktError::Malformed(_))));
+        assert!(matches!(
+            polygon_from_wkt("POLYGON ((0 0, 1 1"),
+            Err(WktError::Malformed(_))
+        ));
         assert!(matches!(
             polygon_from_wkt("POLYGON ((0 zero, 1 1, 2 2, 0 zero))"),
             Err(WktError::BadNumber(_))
@@ -237,7 +256,6 @@ mod tests {
         assert!(matches!(
             polygon_from_wkt("POLYGON ((0 0, 1 1))"),
             Err(WktError::Malformed(_)),
-
         ));
         assert!(matches!(
             polygon_from_wkt("POLYGON ((0 0 9, 1 1 9, 2 2 9, 0 0 9))"),

@@ -25,7 +25,9 @@ macro_rules! atomic_buf {
 
             /// Buffer initialized from existing values.
             pub fn from_vec(v: Vec<$prim>) -> Self {
-                Self { data: v.into_iter().map(<$atomic>::new).collect() }
+                Self {
+                    data: v.into_iter().map(<$atomic>::new).collect(),
+                }
             }
 
             #[inline]
@@ -63,7 +65,10 @@ macro_rules! atomic_buf {
 
             /// Snapshot without consuming.
             pub fn to_vec(&self) -> Vec<$prim> {
-                self.data.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+                self.data
+                    .iter()
+                    .map(|a| a.load(Ordering::Relaxed))
+                    .collect()
             }
         }
     };

@@ -55,7 +55,11 @@ impl SimtBlock {
                 let barrier = &barrier;
                 let body = &body;
                 scope.spawn(move || {
-                    body(ThreadCtx { tid, block_dim: self.block_dim, barrier });
+                    body(ThreadCtx {
+                        tid,
+                        block_dim: self.block_dim,
+                        barrier,
+                    });
                 });
             }
         });

@@ -199,15 +199,24 @@ mod tests {
 
     #[test]
     fn empty_work_costs_nothing() {
-        assert_eq!(gtx().kernel_secs(KernelClass::Generic, &KernelWork::default()), 0.0);
+        assert_eq!(
+            gtx().kernel_secs(KernelClass::Generic, &KernelWork::default()),
+            0.0
+        );
     }
 
     #[test]
     fn compute_and_memory_overlap() {
         // A kernel with both compute and memory pays only the max of the two.
         let m = gtx();
-        let w_compute = KernelWork { flops: 10_u64.pow(12), ..Default::default() };
-        let w_memory = KernelWork { coalesced_bytes: 10_u64.pow(9), ..Default::default() };
+        let w_compute = KernelWork {
+            flops: 10_u64.pow(12),
+            ..Default::default()
+        };
+        let w_memory = KernelWork {
+            coalesced_bytes: 10_u64.pow(9),
+            ..Default::default()
+        };
         let w_both = w_compute.merge(&w_memory);
         let t_c = m.kernel_secs(KernelClass::Generic, &w_compute);
         let t_m = m.kernel_secs(KernelClass::Generic, &w_memory);
@@ -218,9 +227,15 @@ mod tests {
     #[test]
     fn atomics_serialize() {
         let m = gtx();
-        let w = KernelWork { atomics: 1_850_000_000, ..Default::default() };
+        let w = KernelWork {
+            atomics: 1_850_000_000,
+            ..Default::default()
+        };
         let t = m.kernel_secs(KernelClass::Histogram, &w);
-        assert!((t - 1.0).abs() < 1e-9, "1.85e9 atomics at 1.85 Gops/s = 1 s, got {t}");
+        assert!(
+            (t - 1.0).abs() < 1e-9,
+            "1.85e9 atomics at 1.85 Gops/s = 1 s, got {t}"
+        );
     }
 
     #[test]
@@ -229,20 +244,42 @@ mod tests {
         // Kepler-vs-Fermi ratios from identical work counts.
         let cells: u64 = 1_000_000_000;
         // Step 1: one atomic per cell, 2 bytes read per cell.
-        let s1 = KernelWork { atomics: cells, coalesced_bytes: cells * 2, flops: cells, ..Default::default() };
+        let s1 = KernelWork {
+            atomics: cells,
+            coalesced_bytes: cells * 2,
+            flops: cells,
+            ..Default::default()
+        };
         let r1 = quadro().kernel_secs(KernelClass::Histogram, &s1)
             / gtx().kernel_secs(KernelClass::Histogram, &s1);
-        assert!((1.4..=1.9).contains(&r1), "Step 1 speedup should be ≈1.6x, got {r1:.2}");
+        assert!(
+            (1.4..=1.9).contains(&r1),
+            "Step 1 speedup should be ≈1.6x, got {r1:.2}"
+        );
         // Step 4: ~10 flops per edge test, compute bound.
-        let s4 = KernelWork { flops: cells * 10, coalesced_bytes: cells / 10, ..Default::default() };
+        let s4 = KernelWork {
+            flops: cells * 10,
+            coalesced_bytes: cells / 10,
+            ..Default::default()
+        };
         let r4 = quadro().kernel_secs(KernelClass::PipTest, &s4)
             / gtx().kernel_secs(KernelClass::PipTest, &s4);
-        assert!((2.2..=3.1).contains(&r4), "Step 4 speedup should be ≈2.6x, got {r4:.2}");
+        assert!(
+            (2.2..=3.1).contains(&r4),
+            "Step 4 speedup should be ≈2.6x, got {r4:.2}"
+        );
         // Step 0: decode, compute bound.
-        let s0 = KernelWork { flops: cells * 32, coalesced_bytes: cells * 2, ..Default::default() };
+        let s0 = KernelWork {
+            flops: cells * 32,
+            coalesced_bytes: cells * 2,
+            ..Default::default()
+        };
         let r0 = quadro().kernel_secs(KernelClass::Decode, &s0)
             / gtx().kernel_secs(KernelClass::Decode, &s0);
-        assert!((1.6..=2.4).contains(&r0), "Step 0 speedup should be ≈2x, got {r0:.2}");
+        assert!(
+            (1.6..=2.4).contains(&r0),
+            "Step 0 speedup should be ≈2x, got {r0:.2}"
+        );
     }
 
     #[test]
@@ -256,10 +293,17 @@ mod tests {
     #[test]
     fn scatter_costs_more_than_coalesced() {
         let m = gtx();
-        let co = KernelWork { coalesced_bytes: 1 << 30, ..Default::default() };
-        let sc = KernelWork { scattered_bytes: 1 << 30, ..Default::default() };
+        let co = KernelWork {
+            coalesced_bytes: 1 << 30,
+            ..Default::default()
+        };
+        let sc = KernelWork {
+            scattered_bytes: 1 << 30,
+            ..Default::default()
+        };
         assert!(
-            m.kernel_secs(KernelClass::Generic, &sc) > 3.0 * m.kernel_secs(KernelClass::Generic, &co)
+            m.kernel_secs(KernelClass::Generic, &sc)
+                > 3.0 * m.kernel_secs(KernelClass::Generic, &co)
         );
     }
 
@@ -287,7 +331,13 @@ mod tests {
 
     #[test]
     fn scale_extrapolates_data_terms_only() {
-        let w = KernelWork { flops: 100, coalesced_bytes: 10, scattered_bytes: 4, atomics: 7, launches: 3 };
+        let w = KernelWork {
+            flops: 100,
+            coalesced_bytes: 10,
+            scattered_bytes: 4,
+            atomics: 7,
+            launches: 3,
+        };
         let s = w.scale(256.0);
         assert_eq!(s.flops, 25_600);
         assert_eq!(s.coalesced_bytes, 2_560);
@@ -299,7 +349,10 @@ mod tests {
     #[test]
     fn launch_overhead_counts() {
         let m = gtx();
-        let w = KernelWork { launches: 1000, ..Default::default() };
+        let w = KernelWork {
+            launches: 1000,
+            ..Default::default()
+        };
         let t = m.kernel_secs(KernelClass::Generic, &w);
         assert!((t - 1000.0 * 8e-6).abs() < 1e-9);
     }

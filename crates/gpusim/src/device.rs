@@ -118,7 +118,10 @@ mod tests {
         assert_eq!(kepler.cores / fermi.cores, 6, "paper: 6x the cores");
         let bw_ratio = kepler.mem_bw_gbps / fermi.mem_bw_gbps;
         assert!((bw_ratio - 2.0).abs() < 0.01, "paper: 2x the bandwidth");
-        assert!(kepler.clock_ghz < fermi.clock_ghz, "Kepler cores have lower frequency");
+        assert!(
+            kepler.clock_ghz < fermi.clock_ghz,
+            "Kepler cores have lower frequency"
+        );
     }
 
     #[test]
@@ -139,14 +142,20 @@ mod tests {
 
     #[test]
     fn scatter_penalty_by_arch() {
-        assert!(DeviceSpec::quadro_6000().scatter_penalty() > DeviceSpec::gtx_titan().scatter_penalty());
+        assert!(
+            DeviceSpec::quadro_6000().scatter_penalty() > DeviceSpec::gtx_titan().scatter_penalty()
+        );
     }
 
     #[test]
     fn all_devices_fit_the_pertile_histograms() {
         // §III.A: 50 MB of per-tile histograms for a 5×5 degree raster is
         // "acceptable as all GPUs used in our experiments have at least 5GB".
-        for d in [DeviceSpec::quadro_6000(), DeviceSpec::gtx_titan(), DeviceSpec::tesla_k20x()] {
+        for d in [
+            DeviceSpec::quadro_6000(),
+            DeviceSpec::gtx_titan(),
+            DeviceSpec::tesla_k20x(),
+        ] {
             assert!(d.mem_gib >= 5.0, "{}", d.name);
         }
     }

@@ -129,7 +129,11 @@ mod tests {
 
     #[test]
     fn strided_small_n() {
-        assert_eq!(strided(3, 256, 2).count(), 0, "thread beyond n does nothing");
+        assert_eq!(
+            strided(3, 256, 2).count(),
+            0,
+            "thread beyond n does nothing"
+        );
         assert_eq!(strided(1, 256, 2).collect::<Vec<_>>(), vec![1]);
     }
 }

@@ -91,7 +91,10 @@ pub fn occupancy(limits: &SmLimits, block: &BlockResources) -> Option<Occupancy>
         .checked_div(block.shared_mem_bytes)
         .unwrap_or(u32::MAX);
     let regs_per_block = block.registers_per_thread * threads_rounded;
-    let by_regs = limits.registers.checked_div(regs_per_block).unwrap_or(u32::MAX);
+    let by_regs = limits
+        .registers
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
 
     let (blocks, limiter) = [
         (by_threads, Limiter::Threads),
@@ -137,7 +140,11 @@ mod tests {
     fn plain_kernel_thread_limited() {
         // The paper's 256-thread blocks with no shared memory: Kepler fits
         // 8 blocks (2048/256), Fermi 6 (1536/256).
-        let block = BlockResources { threads: 256, shared_mem_bytes: 0, registers_per_thread: 0 };
+        let block = BlockResources {
+            threads: 256,
+            shared_mem_bytes: 0,
+            registers_per_thread: 0,
+        };
         let k = occupancy(&kepler(), &block).expect("launchable");
         assert_eq!(k.blocks_per_sm, 8);
         assert_eq!(k.fraction, 1.0);
@@ -150,7 +157,11 @@ mod tests {
     #[test]
     fn block_count_limited_for_small_blocks() {
         // 32-thread blocks: residency capped by max_blocks, occupancy low.
-        let block = BlockResources { threads: 32, shared_mem_bytes: 0, registers_per_thread: 0 };
+        let block = BlockResources {
+            threads: 32,
+            shared_mem_bytes: 0,
+            registers_per_thread: 0,
+        };
         let k = occupancy(&kepler(), &block).expect("launchable");
         assert_eq!(k.blocks_per_sm, 16);
         assert_eq!(k.limiter, Limiter::Blocks);
@@ -162,7 +173,11 @@ mod tests {
         // §III.D: staging a big polygon (3,000 flat slots = 48,000 B) in
         // shared memory leaves room for exactly one block per SM.
         let shmem = polygon_stage_bytes(3000);
-        let block = BlockResources { threads: 256, shared_mem_bytes: shmem, registers_per_thread: 0 };
+        let block = BlockResources {
+            threads: 256,
+            shared_mem_bytes: shmem,
+            registers_per_thread: 0,
+        };
         let k = occupancy(&kepler(), &block).expect("launchable");
         assert_eq!(k.blocks_per_sm, 1);
         assert_eq!(k.limiter, Limiter::SharedMemory);
@@ -178,14 +193,25 @@ mod tests {
         };
         assert_eq!(occupancy(&kepler(), &too_big), None);
         assert_eq!(
-            occupancy(&kepler(), &BlockResources { threads: 0, shared_mem_bytes: 0, registers_per_thread: 0 }),
+            occupancy(
+                &kepler(),
+                &BlockResources {
+                    threads: 0,
+                    shared_mem_bytes: 0,
+                    registers_per_thread: 0
+                }
+            ),
             None
         );
     }
 
     #[test]
     fn register_pressure_limits() {
-        let block = BlockResources { threads: 256, shared_mem_bytes: 0, registers_per_thread: 64 };
+        let block = BlockResources {
+            threads: 256,
+            shared_mem_bytes: 0,
+            registers_per_thread: 64,
+        };
         let f = occupancy(&fermi(), &block).expect("launchable");
         // 64 regs × 256 threads = 16K regs/block; Fermi has 32K => 2 blocks.
         assert_eq!(f.blocks_per_sm, 2);
@@ -195,7 +221,11 @@ mod tests {
     #[test]
     fn warp_rounding() {
         // 33 threads occupy 2 warps = 64 thread slots.
-        let block = BlockResources { threads: 33, shared_mem_bytes: 0, registers_per_thread: 0 };
+        let block = BlockResources {
+            threads: 33,
+            shared_mem_bytes: 0,
+            registers_per_thread: 0,
+        };
         let k = occupancy(&kepler(), &block).expect("launchable");
         assert_eq!(k.threads_per_sm, k.blocks_per_sm * 64);
     }

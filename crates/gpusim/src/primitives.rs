@@ -142,7 +142,11 @@ pub fn gather<T: Copy + Send + Sync>(idx: &[usize], src: &[T]) -> Vec<T> {
 
 /// `out[idx[i]] = src[i]` (Thrust `scatter`). `idx` must be a permutation
 /// target without duplicates for a deterministic result.
-pub fn scatter<T: Copy + Default + Send + Sync>(src: &[T], idx: &[usize], out_len: usize) -> Vec<T> {
+pub fn scatter<T: Copy + Default + Send + Sync>(
+    src: &[T],
+    idx: &[usize],
+    out_len: usize,
+) -> Vec<T> {
     assert_eq!(src.len(), idx.len());
     let mut out = vec![T::default(); out_len];
     for (&v, &i) in src.iter().zip(idx) {
@@ -202,13 +206,26 @@ mod tests {
     fn stable_partition_fig4_example() {
         // The paper's Fig. 4 flow: move inside (code 1) pairs ahead of
         // intersect (code 2), keeping order within each class.
-        let mut pairs: Vec<(u8, &str)> =
-            vec![(2, "T1"), (1, "T2"), (2, "T3"), (1, "T4"), (1, "T5"), (2, "T6")];
+        let mut pairs: Vec<(u8, &str)> = vec![
+            (2, "T1"),
+            (1, "T2"),
+            (2, "T3"),
+            (1, "T4"),
+            (1, "T5"),
+            (2, "T6"),
+        ];
         let split = stable_partition(&mut pairs, |&(code, _)| code == 1);
         assert_eq!(split, 3);
         assert_eq!(
             pairs,
-            vec![(1, "T2"), (1, "T4"), (1, "T5"), (2, "T1"), (2, "T3"), (2, "T6")]
+            vec![
+                (1, "T2"),
+                (1, "T4"),
+                (1, "T5"),
+                (2, "T1"),
+                (2, "T3"),
+                (2, "T6")
+            ]
         );
     }
 
@@ -229,7 +246,11 @@ mod tests {
         let keys = [1u32, 1, 2, 2, 2, 1];
         let vals = [10u32, 20, 1, 2, 3, 100];
         let (k, s) = reduce_by_key(&keys, &vals);
-        assert_eq!(k, vec![1, 2, 1], "non-adjacent equal keys stay separate runs");
+        assert_eq!(
+            k,
+            vec![1, 2, 1],
+            "non-adjacent equal keys stay separate runs"
+        );
         assert_eq!(s, vec![30, 6, 100]);
     }
 
@@ -272,12 +293,36 @@ mod tests {
             code: u8,
         }
         let mut pairs = vec![
-            Pair { tid: 1, pid: 1, code: 2 },
-            Pair { tid: 3, pid: 1, code: 1 },
-            Pair { tid: 4, pid: 2, code: 2 },
-            Pair { tid: 2, pid: 1, code: 1 },
-            Pair { tid: 5, pid: 2, code: 1 },
-            Pair { tid: 6, pid: 2, code: 2 },
+            Pair {
+                tid: 1,
+                pid: 1,
+                code: 2,
+            },
+            Pair {
+                tid: 3,
+                pid: 1,
+                code: 1,
+            },
+            Pair {
+                tid: 4,
+                pid: 2,
+                code: 2,
+            },
+            Pair {
+                tid: 2,
+                pid: 1,
+                code: 1,
+            },
+            Pair {
+                tid: 5,
+                pid: 2,
+                code: 1,
+            },
+            Pair {
+                tid: 6,
+                pid: 2,
+                code: 2,
+            },
         ];
         stable_sort_by_key(&mut pairs, |p| (p.pid, p.code));
         let split = stable_partition(&mut pairs, |p| p.code == 1);

@@ -17,10 +17,7 @@ fn block_inclusive_scan(data: &mut Vec<u32>) {
     if n == 0 {
         return;
     }
-    let buf = [
-        AtomicBufU32::from_vec(data.clone()),
-        AtomicBufU32::new(n),
-    ];
+    let buf = [AtomicBufU32::from_vec(data.clone()), AtomicBufU32::new(n)];
     // Ping-pong parity after each step; track it to read the result back.
     let steps = {
         let mut s = 0;

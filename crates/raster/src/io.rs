@@ -176,7 +176,10 @@ mod tests {
     #[test]
     fn wrong_magic_rejected() {
         let buf = b"NOPEate least long enough to be a header maybe".to_vec();
-        assert!(matches!(read_raster(&mut buf.as_slice()), Err(RasterIoError::NotARaster)));
+        assert!(matches!(
+            read_raster(&mut buf.as_slice()),
+            Err(RasterIoError::NotARaster)
+        ));
     }
 
     #[test]
@@ -185,7 +188,10 @@ mod tests {
         let mut buf = Vec::new();
         write_raster(&mut buf, &raster).expect("write");
         buf[4] = 99; // bump version
-        assert!(matches!(read_raster(&mut buf.as_slice()), Err(RasterIoError::BadVersion(99))));
+        assert!(matches!(
+            read_raster(&mut buf.as_slice()),
+            Err(RasterIoError::BadVersion(99))
+        ));
     }
 
     #[test]

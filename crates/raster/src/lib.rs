@@ -52,7 +52,11 @@ impl TileData {
 
     /// Tile filled with a constant value.
     pub fn filled(value: u16, rows: usize, cols: usize) -> Self {
-        TileData { values: vec![value; rows * cols], rows, cols }
+        TileData {
+            values: vec![value; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     #[inline]

@@ -86,7 +86,14 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        for (r, c) in [(0u32, 0u32), (1, 0), (0, 1), (255, 511), (65535, 65535), (1234, 4321)] {
+        for (r, c) in [
+            (0u32, 0u32),
+            (1, 0),
+            (0, 1),
+            (255, 511),
+            (65535, 65535),
+            (1234, 4321),
+        ] {
             assert_eq!(morton_decode(morton_encode(r, c)), (r, c));
         }
     }

@@ -106,7 +106,9 @@ pub fn assign_balanced(weights: &[u64], n_nodes: usize) -> Vec<Vec<usize>> {
     let mut out = vec![Vec::new(); n_nodes];
     let mut load = vec![0u64; n_nodes];
     for i in order {
-        let node = (0..n_nodes).min_by_key(|&n| (load[n], n)).expect("n_nodes > 0");
+        let node = (0..n_nodes)
+            .min_by_key(|&n| (load[n], n))
+            .expect("n_nodes > 0");
         load[node] += weights[i];
         out[node].push(i);
     }

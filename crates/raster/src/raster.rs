@@ -29,7 +29,13 @@ impl Raster {
         nodata: Option<u16>,
     ) -> Self {
         assert_eq!(data.len(), rows * cols, "raster shape mismatch");
-        Raster { rows, cols, data, transform, nodata }
+        Raster {
+            rows,
+            cols,
+            data,
+            transform,
+            nodata,
+        }
     }
 
     /// A raster filled with a constant.
@@ -133,7 +139,10 @@ impl Raster {
 
     /// Copy out a rectangular block (used by tiling and partitioning).
     pub fn block(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> TileData {
-        assert!(row0 + rows <= self.rows && col0 + cols <= self.cols, "block out of range");
+        assert!(
+            row0 + rows <= self.rows && col0 + cols <= self.cols,
+            "block out of range"
+        );
         let mut values = Vec::with_capacity(rows * cols);
         for r in row0..row0 + rows {
             let start = r * self.cols + col0;
@@ -249,6 +258,9 @@ mod tests {
                 }
             }
         }
-        assert!(seen.iter().all(|&s| s), "every cell must appear in some tile");
+        assert!(
+            seen.iter().all(|&s| s),
+            "every cell must appear in some tile"
+        );
     }
 }

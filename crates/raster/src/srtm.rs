@@ -229,12 +229,60 @@ impl CatalogRaster {
 /// (−125..−66 × 24..50) plus an 11°×2° northern strip; 1,556 square degrees
 /// total, hence exactly 20,165,760,000 cells at 3600 cells/degree.
 pub const CATALOG: [CatalogRaster; 6] = [
-    CatalogRaster { name: "north-strip", lon0: -125.0, lat0: 50.0, width_deg: 11, height_deg: 2, part_rows: 1, part_cols: 2 },
-    CatalogRaster { name: "west-south", lon0: -125.0, lat0: 24.0, width_deg: 33, height_deg: 16, part_rows: 3, part_cols: 4 },
-    CatalogRaster { name: "west-north-a", lon0: -125.0, lat0: 40.0, width_deg: 16, height_deg: 10, part_rows: 2, part_cols: 2 },
-    CatalogRaster { name: "west-north-b", lon0: -109.0, lat0: 40.0, width_deg: 17, height_deg: 10, part_rows: 2, part_cols: 2 },
-    CatalogRaster { name: "east-south", lon0: -92.0, lat0: 24.0, width_deg: 26, height_deg: 13, part_rows: 1, part_cols: 7 },
-    CatalogRaster { name: "east-north", lon0: -92.0, lat0: 37.0, width_deg: 26, height_deg: 13, part_rows: 7, part_cols: 1 },
+    CatalogRaster {
+        name: "north-strip",
+        lon0: -125.0,
+        lat0: 50.0,
+        width_deg: 11,
+        height_deg: 2,
+        part_rows: 1,
+        part_cols: 2,
+    },
+    CatalogRaster {
+        name: "west-south",
+        lon0: -125.0,
+        lat0: 24.0,
+        width_deg: 33,
+        height_deg: 16,
+        part_rows: 3,
+        part_cols: 4,
+    },
+    CatalogRaster {
+        name: "west-north-a",
+        lon0: -125.0,
+        lat0: 40.0,
+        width_deg: 16,
+        height_deg: 10,
+        part_rows: 2,
+        part_cols: 2,
+    },
+    CatalogRaster {
+        name: "west-north-b",
+        lon0: -109.0,
+        lat0: 40.0,
+        width_deg: 17,
+        height_deg: 10,
+        part_rows: 2,
+        part_cols: 2,
+    },
+    CatalogRaster {
+        name: "east-south",
+        lon0: -92.0,
+        lat0: 24.0,
+        width_deg: 26,
+        height_deg: 13,
+        part_rows: 1,
+        part_cols: 7,
+    },
+    CatalogRaster {
+        name: "east-north",
+        lon0: -92.0,
+        lat0: 37.0,
+        width_deg: 26,
+        height_deg: 13,
+        part_rows: 7,
+        part_cols: 1,
+    },
 ];
 
 /// The catalog at a chosen resolution.
@@ -301,7 +349,11 @@ mod tests {
     #[test]
     fn catalog_totals_match_paper() {
         let cat = SrtmCatalog::full_scale();
-        assert_eq!(cat.total_cells(), 20_165_760_000, "Table 1 total cell count");
+        assert_eq!(
+            cat.total_cells(),
+            20_165_760_000,
+            "Table 1 total cell count"
+        );
         assert_eq!(cat.n_partitions(), 36, "Table 1 partition count");
         assert_eq!(cat.rasters().len(), 6, "Table 1 raster count");
     }
@@ -325,7 +377,10 @@ mod tests {
     fn catalog_covers_conus() {
         let conus = zonal_geo::counties::conus_extent();
         let cat = SrtmCatalog::full_scale();
-        assert!(cat.extent().contains(&conus), "catalog must cover the county layer");
+        assert!(
+            cat.extent().contains(&conus),
+            "catalog must cover the county layer"
+        );
         // Area bookkeeping: 1556 square degrees.
         let area: f64 = CATALOG.iter().map(|r| r.extent().area()).sum();
         assert!((area - 1556.0).abs() < 1e-9);
@@ -361,7 +416,10 @@ mod tests {
         assert!(land > 0, "some land must exist");
         assert!(water > 0, "some water must exist");
         // Mostly land over a continental box.
-        assert!(land * 10 > (land + water) * 4, "land should be a large fraction");
+        assert!(
+            land * 10 > (land + water) * 4,
+            "land should be a large fraction"
+        );
     }
 
     #[test]

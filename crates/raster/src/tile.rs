@@ -59,7 +59,12 @@ impl TileGrid {
 
     /// Tile so each tile spans `tile_deg` degrees (the paper's 0.1°),
     /// rounded to whole cells (at least 1).
-    pub fn for_degree_tile(rows: usize, cols: usize, tile_deg: f64, transform: GeoTransform) -> Self {
+    pub fn for_degree_tile(
+        rows: usize,
+        cols: usize,
+        tile_deg: f64,
+        transform: GeoTransform,
+    ) -> Self {
         let cells = ((tile_deg / transform.sx).round() as usize).max(1);
         TileGrid::new(rows, cols, cells, transform)
     }
@@ -135,7 +140,15 @@ impl TileGrid {
     pub fn tile(&self, tx: usize, ty: usize) -> Tile {
         let (row0, col0) = self.tile_origin_cell(tx, ty);
         let (rows, cols) = self.tile_shape(tx, ty);
-        Tile { tx, ty, id: self.tile_id(tx, ty), row0, col0, rows, cols }
+        Tile {
+            tx,
+            ty,
+            id: self.tile_id(tx, ty),
+            row0,
+            col0,
+            rows,
+            cols,
+        }
     }
 
     /// World-space box of tile `(tx, ty)`.
@@ -164,7 +177,13 @@ impl TileGrid {
     ///
     /// This is Step 2's "MBB rasterization": decomposing a polygon MBB into
     /// candidate tiles.
-    pub fn tiles_overlapping(&self, mbr: &Mbr) -> Option<(std::ops::RangeInclusive<usize>, std::ops::RangeInclusive<usize>)> {
+    pub fn tiles_overlapping(
+        &self,
+        mbr: &Mbr,
+    ) -> Option<(
+        std::ops::RangeInclusive<usize>,
+        std::ops::RangeInclusive<usize>,
+    )> {
         if mbr.is_empty() {
             return None;
         }
@@ -216,7 +235,11 @@ mod tests {
     fn ragged_edge_tiles() {
         let g = grid();
         assert_eq!(g.tile_shape(0, 0), (10, 10));
-        assert_eq!(g.tile_shape(3, 0), (10, 3), "last column is 33 - 30 = 3 wide");
+        assert_eq!(
+            g.tile_shape(3, 0),
+            (10, 3),
+            "last column is 33 - 30 = 3 wide"
+        );
         assert_eq!(g.tile_shape(0, 2), (5, 10), "last row is 25 - 20 = 5 tall");
         assert_eq!(g.tile_shape(3, 2), (5, 3));
     }
@@ -259,15 +282,21 @@ mod tests {
     #[test]
     fn overlap_clamps_to_grid() {
         let g = grid();
-        let (xs, ys) = g.tiles_overlapping(&Mbr::new(-5.0, -5.0, 50.0, 50.0)).unwrap();
+        let (xs, ys) = g
+            .tiles_overlapping(&Mbr::new(-5.0, -5.0, 50.0, 50.0))
+            .unwrap();
         assert_eq!((xs, ys), (0..=3, 0..=2));
     }
 
     #[test]
     fn overlap_miss() {
         let g = grid();
-        assert!(g.tiles_overlapping(&Mbr::new(10.0, 10.0, 11.0, 11.0)).is_none());
-        assert!(g.tiles_overlapping(&Mbr::new(-2.0, 0.0, -1.0, 1.0)).is_none());
+        assert!(g
+            .tiles_overlapping(&Mbr::new(10.0, 10.0, 11.0, 11.0))
+            .is_none());
+        assert!(g
+            .tiles_overlapping(&Mbr::new(-2.0, 0.0, -1.0, 1.0))
+            .is_none());
         assert!(g.tiles_overlapping(&Mbr::EMPTY).is_none());
     }
 

@@ -44,18 +44,20 @@ pub fn field(seed: u64, epoch: u32, x: f64, y: f64) -> u16 {
     let phase = (epoch % EPOCHS_PER_KEYFRAME) as f64 / EPOCHS_PER_KEYFRAME as f64;
     let drift = epoch as f64 * 0.15; // degrees of eastward advection/epoch
     let w0 = fbm(seed ^ SEED_WEATHER ^ (key as u64), x - drift, y, 4, 0.25);
-    let w1 = fbm(seed ^ SEED_WEATHER ^ (key as u64 + 1), x - drift, y, 4, 0.25);
+    let w1 = fbm(
+        seed ^ SEED_WEATHER ^ (key as u64 + 1),
+        x - drift,
+        y,
+        4,
+        0.25,
+    );
     let weather = w0 + (w1 - w0) * phase;
 
     // Diurnal-style oscillation shared across space.
     let cycle = 0.5 + 0.5 * (epoch as f64 * std::f64::consts::TAU / 24.0).sin();
     let hash_term = fbm(seed ^ SEED_KEY, x * 37.0, y * 37.0, 2, 1.0); // cell-scale texture
 
-    let v = 400.0 * latitudinal
-        + 500.0 * base
-        + 700.0 * weather
-        + 250.0 * cycle
-        + 30.0 * hash_term;
+    let v = 400.0 * latitudinal + 500.0 * base + 700.0 * weather + 250.0 * cycle + 30.0 * hash_term;
     (v as u32).min(MAX_FIELD as u32) as u16
 }
 

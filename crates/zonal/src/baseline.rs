@@ -21,7 +21,10 @@ use zonal_raster::Raster;
 
 /// Clamp a world-space MBR to the raster's cell index ranges
 /// (`row_range`, `col_range`), half-open.
-fn cell_ranges(raster: &Raster, mbr: &Mbr) -> Option<(std::ops::Range<usize>, std::ops::Range<usize>)> {
+fn cell_ranges(
+    raster: &Raster,
+    mbr: &Mbr,
+) -> Option<(std::ops::Range<usize>, std::ops::Range<usize>)> {
     let gt = raster.transform();
     let (r0, c0) = gt.world_to_cell(zonal_geo::Point::new(mbr.min_x, mbr.min_y));
     let (r1, c1) = gt.world_to_cell(zonal_geo::Point::new(mbr.max_x, mbr.max_y));
@@ -65,7 +68,10 @@ fn zone_histogram_pip(
 pub fn full_pip_serial(layer: &PolygonLayer, raster: &Raster, n_bins: usize) -> ZoneHistograms {
     let mut out = ZoneHistograms::new(layer.len(), n_bins);
     for pid in 0..layer.len() {
-        for (bin, &count) in zone_histogram_pip(raster, layer, pid, n_bins).iter().enumerate() {
+        for (bin, &count) in zone_histogram_pip(raster, layer, pid, n_bins)
+            .iter()
+            .enumerate()
+        {
             if count > 0 {
                 out.add(pid, bin, count);
             }
@@ -176,7 +182,10 @@ fn zone_histogram_scanline(
 pub fn scanline_serial(layer: &PolygonLayer, raster: &Raster, n_bins: usize) -> ZoneHistograms {
     let mut out = ZoneHistograms::new(layer.len(), n_bins);
     for pid in 0..layer.len() {
-        for (bin, &count) in zone_histogram_scanline(raster, layer, pid, n_bins).iter().enumerate() {
+        for (bin, &count) in zone_histogram_scanline(raster, layer, pid, n_bins)
+            .iter()
+            .enumerate()
+        {
             if count > 0 {
                 out.add(pid, bin, count);
             }

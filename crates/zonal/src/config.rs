@@ -76,7 +76,10 @@ impl PipelineConfig {
     pub fn validate(&self) {
         assert!(self.tile_deg > 0.0, "tile_deg must be positive");
         assert!(self.n_bins > 0, "need at least one bin");
-        assert!(self.n_bins <= u16::MAX as usize, "bins beyond u16 value range are unreachable");
+        assert!(
+            self.n_bins <= u16::MAX as usize,
+            "bins beyond u16 value range are unreachable"
+        );
         assert!(self.block_dim > 0, "block_dim must be positive");
         assert!(self.strip_rows > 0, "strip_rows must be positive");
     }

@@ -14,7 +14,10 @@
 /// L1 (Manhattan) distance between raw count histograms.
 pub fn l1(a: &[u64], b: &[u64]) -> f64 {
     check(a, b);
-    a.iter().zip(b).map(|(&x, &y)| (x as f64 - y as f64).abs()).sum()
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64 - y as f64).abs())
+        .sum()
 }
 
 /// L2 (Euclidean) distance between raw count histograms.
@@ -84,8 +87,16 @@ pub fn emd1d(a: &[u64], b: &[u64]) -> f64 {
 pub fn cosine(a: &[u64], b: &[u64]) -> f64 {
     check(a, b);
     let dot: f64 = a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum();
-    let na: f64 = a.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
-    let nb: f64 = b.iter().map(|&y| (y as f64) * (y as f64)).sum::<f64>().sqrt();
+    let na: f64 = a
+        .iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt();
+    let nb: f64 = b
+        .iter()
+        .map(|&y| (y as f64) * (y as f64))
+        .sum::<f64>()
+        .sqrt();
     if na == 0.0 || nb == 0.0 {
         return 1.0;
     }

@@ -14,14 +14,26 @@ pub struct ZoneHistograms {
 
 impl ZoneHistograms {
     pub fn new(n_zones: usize, n_bins: usize) -> Self {
-        ZoneHistograms { n_zones, n_bins, data: vec![0; n_zones * n_bins] }
+        ZoneHistograms {
+            n_zones,
+            n_bins,
+            data: vec![0; n_zones * n_bins],
+        }
     }
 
     /// Reassemble from a flat vector (e.g. an [`AtomicBufU64`] drained after
     /// a kernel).
     pub fn from_flat(n_zones: usize, n_bins: usize, data: Vec<u64>) -> Self {
-        assert_eq!(data.len(), n_zones * n_bins, "flat histogram shape mismatch");
-        ZoneHistograms { n_zones, n_bins, data }
+        assert_eq!(
+            data.len(),
+            n_zones * n_bins,
+            "flat histogram shape mismatch"
+        );
+        ZoneHistograms {
+            n_zones,
+            n_bins,
+            data,
+        }
     }
 
     /// Allocate the matching atomic device buffer (zeroed).

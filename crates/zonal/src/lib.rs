@@ -46,12 +46,12 @@ pub mod zone_cluster;
 
 pub use config::PipelineConfig;
 pub use hist::ZoneHistograms;
-pub use pairing::{pair_tiles, pair_tiles_quadtree, GroupedPairs, PairTable};
 pub use multiband::{run_bands, MultiBandResult};
+pub use pairing::{pair_tiles, pair_tiles_quadtree, GroupedPairs, PairTable};
 pub use pipeline::{run_partition, run_partitions, ZonalResult};
 pub use representative::CellRepresentative;
 pub use stats::{zonal_statistics, ZonalStats};
 pub use temporal::{detect_anomalies, run_epochs, TemporalResult};
-pub use zone_cluster::{kmedoids, ZoneClustering};
 pub use timing::{PipelineCounts, PipelineTimings, StepTiming};
 pub use weighted::{run_weighted, WeightedZoneHistograms};
+pub use zone_cluster::{kmedoids, ZoneClustering};

@@ -15,7 +15,9 @@
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use zonal_geo::{classify_box, PolygonLayer, TileRelation};
-use zonal_gpusim::primitives::{exclusive_scan, run_length_encode, stable_partition, stable_sort_by_key};
+use zonal_gpusim::primitives::{
+    exclusive_scan, run_length_encode, stable_partition, stable_sort_by_key,
+};
 use zonal_raster::TileGrid;
 
 /// Pairs grouped by polygon: the paper's four device arrays.
@@ -38,7 +40,12 @@ impl GroupedPairs {
         let (pid_v, num_v) = run_length_encode(&pids);
         let (pos_v, _total) = exclusive_scan(&num_v);
         let tid_v = pairs.iter().map(|&(_, t)| t).collect();
-        GroupedPairs { pid_v, num_v, pos_v, tid_v }
+        GroupedPairs {
+            pid_v,
+            num_v,
+            pos_v,
+            tid_v,
+        }
     }
 
     /// Number of polygon groups.
@@ -157,7 +164,9 @@ fn group_triples(mut triples: Vec<(u32, u32, u8)>) -> PairTable {
     let n_outside = n_total - triples.len() as u64;
     stable_sort_by_key(&mut triples, |&(pid, tid, code)| (pid, code, tid));
     let mut pairs: Vec<(u32, u32, u8)> = triples;
-    let split = stable_partition(&mut pairs, |&(_, _, code)| code == TileRelation::Inside.code());
+    let split = stable_partition(&mut pairs, |&(_, _, code)| {
+        code == TileRelation::Inside.code()
+    });
     let inside_pairs: Vec<(u32, u32)> = pairs[..split].iter().map(|&(p, t, _)| (p, t)).collect();
     let intersect_pairs: Vec<(u32, u32)> = pairs[split..].iter().map(|&(p, t, _)| (p, t)).collect();
 
@@ -206,7 +215,11 @@ mod tests {
         let g = grid();
         let table = pair_tiles(&layer, &g);
         assert_eq!(table.n_candidates(), 9, "3x3 MBB tiles");
-        assert_eq!(table.inside.n_pairs(), 1, "only the center tile is fully inside");
+        assert_eq!(
+            table.inside.n_pairs(),
+            1,
+            "only the center tile is fully inside"
+        );
         assert_eq!(table.intersect.n_pairs(), 8, "boundary rim tiles");
         assert_eq!(table.n_outside, 0, "MBB rasterization is exact for a rect");
     }
@@ -215,13 +228,18 @@ mod tests {
     fn offset_square_has_outside_candidates() {
         // A polygon centered in tile space but not aligned: MBB covers 3x3
         // tiles; the disc inside covers fewer.
-        let layer = PolygonLayer::from_polygons(vec![Polygon::from_ring(
-            zonal_geo::Ring::circle(zonal_geo::Point::new(5.0, 5.0), 1.4, 64),
-        )]);
+        let layer = PolygonLayer::from_polygons(vec![Polygon::from_ring(zonal_geo::Ring::circle(
+            zonal_geo::Point::new(5.0, 5.0),
+            1.4,
+            64,
+        ))]);
         let table = pair_tiles(&layer, &grid());
         // MBB [3.6, 6.4]² rasterizes to the 4×4 tiles (3..=6)².
         assert_eq!(table.n_candidates(), 16);
-        assert!(table.intersect.n_pairs() >= 8, "the circle crosses the ring of tiles");
+        assert!(
+            table.intersect.n_pairs() >= 8,
+            "the circle crosses the ring of tiles"
+        );
         // The four MBB corner tiles lie outside the circle (corner distance
         // √2 > 1.4).
         assert!(table.n_outside >= 4);
@@ -257,20 +275,28 @@ mod tests {
 
     #[test]
     fn classification_agrees_with_direct_classify() {
-        let layer = PolygonLayer::from_polygons(vec![Polygon::from_ring(
-            zonal_geo::Ring::circle(zonal_geo::Point::new(4.3, 5.7), 2.2, 48),
-        )]);
+        let layer = PolygonLayer::from_polygons(vec![Polygon::from_ring(zonal_geo::Ring::circle(
+            zonal_geo::Point::new(4.3, 5.7),
+            2.2,
+            48,
+        ))]);
         let g = grid();
         let table = pair_tiles(&layer, &g);
         let poly = layer.polygon(0);
         for (pid, tid) in table.inside.iter_pairs() {
             assert_eq!(pid, 0);
             let (tx, ty) = g.tile_pos(tid as usize);
-            assert_eq!(classify_box(poly, &g.tile_mbr(tx, ty)), TileRelation::Inside);
+            assert_eq!(
+                classify_box(poly, &g.tile_mbr(tx, ty)),
+                TileRelation::Inside
+            );
         }
         for (_, tid) in table.intersect.iter_pairs() {
             let (tx, ty) = g.tile_pos(tid as usize);
-            assert_eq!(classify_box(poly, &g.tile_mbr(tx, ty)), TileRelation::Intersect);
+            assert_eq!(
+                classify_box(poly, &g.tile_mbr(tx, ty)),
+                TileRelation::Intersect
+            );
         }
     }
 
@@ -293,7 +319,11 @@ mod tests {
     #[test]
     fn quadtree_pairing_on_offset_polygons() {
         let layer = PolygonLayer::from_polygons(vec![
-            Polygon::from_ring(zonal_geo::Ring::circle(zonal_geo::Point::new(4.3, 5.7), 2.2, 48)),
+            Polygon::from_ring(zonal_geo::Ring::circle(
+                zonal_geo::Point::new(4.3, 5.7),
+                2.2,
+                48,
+            )),
             Polygon::rect(0.5, 0.5, 3.5, 3.5),
             Polygon::rect(50.0, 50.0, 60.0, 60.0), // off-grid
         ]);
@@ -315,8 +345,14 @@ mod tests {
         for (_, tid) in table.inside.iter_pairs() {
             owner[tid as usize] += 1;
         }
-        assert!(owner.iter().all(|&c| c <= 1), "an inside tile belongs to one zone only");
-        assert!(table.inside.n_pairs() > 0, "tessellation interior tiles exist");
+        assert!(
+            owner.iter().all(|&c| c <= 1),
+            "an inside tile belongs to one zone only"
+        );
+        assert!(
+            table.inside.n_pairs() > 0,
+            "tessellation interior tiles exist"
+        );
         assert!(table.intersect.n_pairs() > 0, "boundary tiles exist");
     }
 }

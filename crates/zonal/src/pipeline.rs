@@ -95,18 +95,17 @@ impl ZonalResult {
 /// assert_eq!(result.hists.zone(0), &[8, 8, 8, 8, 0, 0, 0, 0]);
 /// assert_eq!(result.hists.total(), 64);
 /// ```
-pub fn run_partition(
-    cfg: &PipelineConfig,
-    zones: &Zones,
-    source: &impl TileSource,
-) -> ZonalResult {
+pub fn run_partition(cfg: &PipelineConfig, zones: &Zones, source: &impl TileSource) -> ZonalResult {
     cfg.validate();
     let grid = source.grid();
     let n_zones = zones.len();
     let n_bins = cfg.n_bins;
 
     let mut timings = PipelineTimings::new(cfg.device);
-    let mut counts = PipelineCounts { n_tiles: grid.n_tiles() as u64, ..Default::default() };
+    let mut counts = PipelineCounts {
+        n_tiles: grid.n_tiles() as u64,
+        ..Default::default()
+    };
 
     // ----- Step 2: spatial filtering (CPU-side, geometry only) -----------
     let t2 = Instant::now();
@@ -186,7 +185,15 @@ pub fn run_partition(
             .iter()
             .map(|&(pid, tid)| (pid, tid, &tiles[tid as usize - first_tid]))
             .collect();
-        let rc = refine_intersect(&ref_pairs, grid, &zones.flat, &zone_buf, n_bins, cfg.representative, &s4_cell);
+        let rc = refine_intersect(
+            &ref_pairs,
+            grid,
+            &zones.flat,
+            &zone_buf,
+            n_bins,
+            cfg.representative,
+            &s4_cell,
+        );
         timings.steps[4].wall_secs += t4.elapsed().as_secs_f64();
         counts.pip_cells_tested += rc.cells_tested;
         counts.pip_cells_inside += rc.cells_inside;
@@ -204,7 +211,11 @@ pub fn run_partition(
     timings.fixed_input_bytes = zones.device_bytes();
     timings.output_bytes = hists.output_bytes();
 
-    ZonalResult { hists, timings, counts }
+    ZonalResult {
+        hists,
+        timings,
+        counts,
+    }
 }
 
 /// Run the pipeline over several partitions sequentially (the single-node
@@ -287,7 +298,10 @@ mod tests {
         // Step 1 and Step 4 did real work.
         assert!(sim[1] > 0.0);
         assert!(sim[4] > 0.0);
-        assert!(result.timings.end_to_end_sim_secs() > result.timings.steps_total_sim_secs_at_scale(1.0));
+        assert!(
+            result.timings.end_to_end_sim_secs()
+                > result.timings.steps_total_sim_secs_at_scale(1.0)
+        );
         assert!(result.timings.wall_secs() > 0.0);
         assert_eq!(result.counts.n_tiles, 25);
     }
@@ -329,7 +343,9 @@ mod tests {
 
     #[test]
     fn zones_device_bytes() {
-        let zones = Zones::new(PolygonLayer::from_polygons(vec![Polygon::rect(0., 0., 1., 1.)]));
+        let zones = Zones::new(PolygonLayer::from_polygons(vec![Polygon::rect(
+            0., 0., 1., 1.,
+        )]));
         // 5 slots (4 vertices + closure) × 16 bytes + 1 × 4 bytes.
         assert_eq!(zones.device_bytes(), 5 * 16 + 4);
     }

@@ -33,7 +33,14 @@ pub struct ZonalStats {
 pub fn stats_of_histogram(bins: &[u64]) -> ZonalStats {
     let count: u64 = bins.iter().sum();
     if count == 0 {
-        return ZonalStats { count: 0, min: None, max: None, mean: 0.0, std_dev: 0.0, median: None };
+        return ZonalStats {
+            count: 0,
+            min: None,
+            max: None,
+            mean: 0.0,
+            std_dev: 0.0,
+            median: None,
+        };
     }
     let mut min = None;
     let mut max = None;
@@ -67,12 +74,21 @@ pub fn stats_of_histogram(bins: &[u64]) -> ZonalStats {
         }
     }
 
-    ZonalStats { count, min, max, mean, std_dev: var.sqrt(), median }
+    ZonalStats {
+        count,
+        min,
+        max,
+        mean,
+        std_dev: var.sqrt(),
+        median,
+    }
 }
 
 /// The full zonal-statistics table: one row per zone.
 pub fn zonal_statistics(hists: &ZoneHistograms) -> Vec<ZonalStats> {
-    (0..hists.n_zones()).map(|z| stats_of_histogram(hists.zone(z))).collect()
+    (0..hists.n_zones())
+        .map(|z| stats_of_histogram(hists.zone(z)))
+        .collect()
 }
 
 /// Quantile from a histogram: the smallest value whose cumulative frequency

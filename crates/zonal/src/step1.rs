@@ -49,7 +49,11 @@ pub fn per_tile_histograms(
             }
         }
         let total = tile.values.len() as u64;
-        TileHistogram { bins, valid_cells: valid, skipped_cells: total - valid }
+        TileHistogram {
+            bins,
+            valid_cells: valid,
+            skipped_cells: total - valid,
+        }
     });
 
     let n_cells: u64 = tiles.iter().map(|t| t.values.len() as u64).sum();
@@ -90,7 +94,11 @@ mod tests {
         let tile = TileData::new(vec![0, NODATA, 100, 5], 2, 2);
         let (cw, fw) = wc();
         let h = &per_tile_histograms(std::slice::from_ref(&tile), 10, &cw, &fw)[0];
-        assert_eq!(h.bins.iter().sum::<u32>(), 2, "only values 0 and 5 are in range");
+        assert_eq!(
+            h.bins.iter().sum::<u32>(),
+            2,
+            "only values 0 and 5 are in range"
+        );
         assert_eq!(h.bins[0], 1);
         assert_eq!(h.bins[5], 1);
         assert_eq!(h.valid_cells, 2);
@@ -99,9 +107,7 @@ mod tests {
 
     #[test]
     fn batch_of_tiles() {
-        let tiles: Vec<TileData> = (0..20)
-            .map(|k| TileData::filled(k as u16, 4, 4))
-            .collect();
+        let tiles: Vec<TileData> = (0..20).map(|k| TileData::filled(k as u16, 4, 4)).collect();
         let (cw, fw) = wc();
         let hists = per_tile_histograms(&tiles, 16, &cw, &fw);
         assert_eq!(hists.len(), 20);
@@ -123,7 +129,10 @@ mod tests {
         let cell = cw.snapshot();
         let fixed = fw.snapshot();
         assert_eq!(cell.coalesced_bytes, 200 * 2, "two bytes per cell");
-        assert_eq!(cell.atomics, 100, "only the in-range tile atomically updates");
+        assert_eq!(
+            cell.atomics, 100,
+            "only the in-range tile atomically updates"
+        );
         assert_eq!(fixed.coalesced_bytes, 2 * 16 * 4 * 2);
         assert_eq!(fixed.launches, 1);
     }
@@ -144,7 +153,10 @@ mod tests {
         let (cw, fw) = wc();
         let h = &per_tile_histograms(std::slice::from_ref(&tile), 1000, &cw, &fw)[0];
         let expected_valid = values.iter().filter(|&&v| (v as usize) < 1000).count() as u64;
-        assert_eq!(h.bins.iter().map(|&b| b as u64).sum::<u64>(), expected_valid);
+        assert_eq!(
+            h.bins.iter().map(|&b| b as u64).sum::<u64>(),
+            expected_valid
+        );
         assert_eq!(h.valid_cells, expected_valid);
         assert_eq!(h.valid_cells + h.skipped_cells, 777);
     }

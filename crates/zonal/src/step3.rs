@@ -75,8 +75,9 @@ mod tests {
         let n_bins = 4;
         let zone = AtomicBufU64::new(10 * n_bins);
         let one = vec![1u32; n_bins];
-        let pairs: Vec<(u32, &[u32])> =
-            (0..1000).map(|i| ((i % 10) as u32, one.as_slice())).collect();
+        let pairs: Vec<(u32, &[u32])> = (0..1000)
+            .map(|i| ((i % 10) as u32, one.as_slice()))
+            .collect();
         let wc = WorkCounter::new();
         aggregate_inside(&pairs, &zone, n_bins, &wc);
         let v = zone.into_vec();

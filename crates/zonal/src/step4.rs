@@ -122,7 +122,15 @@ mod tests {
         let tile = TileData::filled(3, 10, 10);
         let zone = AtomicBufU64::new(8);
         let wc = WorkCounter::new();
-        let c = refine_intersect(&[(0, 0, &tile)], &grid, &flat, &zone, 8, CellRepresentative::Center, &wc);
+        let c = refine_intersect(
+            &[(0, 0, &tile)],
+            &grid,
+            &flat,
+            &zone,
+            8,
+            CellRepresentative::Center,
+            &wc,
+        );
         assert_eq!(c.cells_tested, 100);
         assert_eq!(c.cells_inside, 50);
         assert_eq!(c.cells_counted, 50);
@@ -139,7 +147,15 @@ mod tests {
         let tile = TileData::new(values, 10, 10);
         let zone = AtomicBufU64::new(8);
         let wc = WorkCounter::new();
-        let c = refine_intersect(&[(0, 0, &tile)], &grid, &flat, &zone, 8, CellRepresentative::Center, &wc);
+        let c = refine_intersect(
+            &[(0, 0, &tile)],
+            &grid,
+            &flat,
+            &zone,
+            8,
+            CellRepresentative::Center,
+            &wc,
+        );
         assert_eq!(c.cells_inside, 100);
         assert_eq!(c.cells_counted, 98);
         assert_eq!(zone.into_vec()[1], 98);
@@ -155,7 +171,15 @@ mod tests {
         let tile = TileData::filled(0, 10, 10);
         let zone = AtomicBufU64::new(4);
         let wc = WorkCounter::new();
-        let c = refine_intersect(&[(0, 0, &tile)], &grid, &flat, &zone, 4, CellRepresentative::Center, &wc);
+        let c = refine_intersect(
+            &[(0, 0, &tile)],
+            &grid,
+            &flat,
+            &zone,
+            4,
+            CellRepresentative::Center,
+            &wc,
+        );
         // Centers are at 0.05, 0.15, ..., 0.95. Under the half-open rule the
         // hole owns centers with both coords in [0.25, 0.75): that's
         // {0.25, 0.35, 0.45, 0.55, 0.65} per axis => 5×5 = 25 cells excluded.
@@ -175,7 +199,15 @@ mod tests {
         let tile = TileData::filled(2, 10, 10);
         let zone = AtomicBufU64::new(2 * 4);
         let wc = WorkCounter::new();
-        let c = refine_intersect(&[(0, 0, &tile), (1, 0, &tile)], &grid, &flat, &zone, 4, CellRepresentative::Center, &wc);
+        let c = refine_intersect(
+            &[(0, 0, &tile), (1, 0, &tile)],
+            &grid,
+            &flat,
+            &zone,
+            4,
+            CellRepresentative::Center,
+            &wc,
+        );
         let v = zone.into_vec();
         assert_eq!(v[2], 50, "zone 0 gets the left half");
         assert_eq!(v[4 + 2], 50, "zone 1 gets the right half");
@@ -189,7 +221,15 @@ mod tests {
         let tile = TileData::filled(0, 10, 10);
         let zone = AtomicBufU64::new(4);
         let wc = WorkCounter::new();
-        let c = refine_intersect(&[(0, 0, &tile)], &grid, &flat, &zone, 4, CellRepresentative::Center, &wc);
+        let c = refine_intersect(
+            &[(0, 0, &tile)],
+            &grid,
+            &flat,
+            &zone,
+            4,
+            CellRepresentative::Center,
+            &wc,
+        );
         assert_eq!(c.edge_tests, 100 * flat.edge_count(0) as u64);
         let w = wc.snapshot();
         assert_eq!(w.flops, c.edge_tests * FLOPS_PER_EDGE_TEST + 100 * 4);

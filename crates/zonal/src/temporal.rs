@@ -80,7 +80,12 @@ pub fn detect_anomalies(series: &[Vec<f64>], threshold_sigma: f64) -> Vec<Change
         for (t, &d) in s.iter().enumerate() {
             let z = (d - mean) / sd;
             if z > threshold_sigma {
-                events.push(ChangeEvent { zone, t, distance: d, z_score: z });
+                events.push(ChangeEvent {
+                    zone,
+                    t,
+                    distance: d,
+                    z_score: z,
+                });
             }
         }
     }
@@ -106,20 +111,25 @@ pub fn run_epochs<S: TileSource>(
 mod tests {
     use super::*;
     use zonal_geo::{Polygon, PolygonLayer};
-    
+
     use zonal_raster::{GeoTransform, Raster, TileGrid};
 
     /// Epoch source: constant background value 1, except a "storm" value 9
     /// over the right half at epoch 3.
     fn epoch_raster(epoch: u32) -> Raster {
         let gt = GeoTransform::new(0.0, 0.0, 0.1, 0.1);
-        Raster::from_fn(20, 40, gt, move |_r, c| {
-            if epoch == 3 && c >= 20 {
-                9
-            } else {
-                1
-            }
-        })
+        Raster::from_fn(
+            20,
+            40,
+            gt,
+            move |_r, c| {
+                if epoch == 3 && c >= 20 {
+                    9
+                } else {
+                    1
+                }
+            },
+        )
     }
 
     fn zones() -> Zones {

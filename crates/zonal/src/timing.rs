@@ -248,7 +248,11 @@ mod tests {
         s.cell_work.flops = u64::MAX / 2; // would be huge if priced
         let m = CostModel::new(DeviceSpec::gtx_titan());
         assert_eq!(s.sim_secs(&m), 0.123);
-        assert_eq!(s.sim_secs_at_scale(&m, 1000.0), 0.123, "CPU step does not scale");
+        assert_eq!(
+            s.sim_secs_at_scale(&m, 1000.0),
+            0.123,
+            "CPU step does not scale"
+        );
     }
 
     #[test]
@@ -277,8 +281,16 @@ mod tests {
 
     #[test]
     fn counts_accumulate() {
-        let mut a = PipelineCounts { n_cells: 10, pip_cells_tested: 2, ..Default::default() };
-        let b = PipelineCounts { n_cells: 30, pip_cells_tested: 3, ..Default::default() };
+        let mut a = PipelineCounts {
+            n_cells: 10,
+            pip_cells_tested: 2,
+            ..Default::default()
+        };
+        let b = PipelineCounts {
+            n_cells: 30,
+            pip_cells_tested: 3,
+            ..Default::default()
+        };
         a.accumulate(&b);
         assert_eq!(a.n_cells, 40);
         assert_eq!(a.pip_cells_tested, 5);

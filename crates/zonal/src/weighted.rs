@@ -30,7 +30,11 @@ pub struct WeightedZoneHistograms {
 
 impl WeightedZoneHistograms {
     pub fn new(n_zones: usize, n_bins: usize) -> Self {
-        WeightedZoneHistograms { n_zones, n_bins, data: vec![0.0; n_zones * n_bins] }
+        WeightedZoneHistograms {
+            n_zones,
+            n_bins,
+            data: vec![0.0; n_zones * n_bins],
+        }
     }
 
     #[inline]
@@ -185,7 +189,10 @@ mod tests {
         let w = run_weighted(&cfg(), &layer, &raster.tile_source(&grid));
         assert!((w.get(0, 0) - 4.0).abs() < 1e-12, "column 0 fully in");
         assert!((w.get(0, 1) - 4.0).abs() < 1e-12, "column 1 fully in");
-        assert!((w.get(0, 2) - 2.0).abs() < 1e-12, "column 2 half in (4 cells x 0.5)");
+        assert!(
+            (w.get(0, 2) - 2.0).abs() < 1e-12,
+            "column 2 half in (4 cells x 0.5)"
+        );
         assert!(w.get(0, 3).abs() < 1e-12);
         // Total weight = polygon area / cell area = 2.5 / 0.25 = 10.
         assert!((w.zone_total(0) - 10.0).abs() < 1e-12);

@@ -57,7 +57,10 @@ pub fn kmedoids(
     // Greedy max-min initialization from a seeded first medoid.
     let mut medoids = Vec::with_capacity(k);
     medoids.push((seed % n as u64) as usize);
-    let mut min_d: Vec<f64> = (0..n).into_par_iter().map(|i| dist(i, medoids[0])).collect();
+    let mut min_d: Vec<f64> = (0..n)
+        .into_par_iter()
+        .map(|i| dist(i, medoids[0]))
+        .collect();
     while medoids.len() < k {
         let far = min_d
             .iter()
@@ -95,8 +98,7 @@ pub fn kmedoids(
         // Update each medoid to the member minimizing intra-cluster cost.
         let mut new_medoids = medoids.clone();
         for (c, slot) in new_medoids.iter_mut().enumerate() {
-            let members: Vec<usize> =
-                (0..n).filter(|&i| assignment[i] == c).collect();
+            let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
             if members.is_empty() {
                 continue;
             }
@@ -119,7 +121,12 @@ pub fn kmedoids(
         }
     }
 
-    ZoneClustering { assignment, medoids, total_cost, iterations }
+    ZoneClustering {
+        assignment,
+        medoids,
+        total_cost,
+        iterations,
+    }
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ fn cell_aggr_kernel(
             hist.store(tile_idx * hist_size + k, 0);
         }
         ctx.sync(); // line 5
-        // Phase 2: count cells (lines 6-11).
+                    // Phase 2: count cells (lines 6-11).
         for p in ctx.strided(raw.len()) {
             let v = raw[p] as usize;
             if v < hist_size {
@@ -154,11 +154,23 @@ fn fig4_kernel_aggregates_inside_tiles() {
     for block_dim in [1usize, 5, 16, 32] {
         let his_polygon = AtomicBufU32::new(3 * hist_size);
         update_hist_kernel(
-            &pid_v, &num_v, &pos_v, &tid_v, &his_raster, &his_polygon, 0, hist_size, block_dim,
+            &pid_v,
+            &num_v,
+            &pos_v,
+            &tid_v,
+            &his_raster,
+            &his_polygon,
+            0,
+            hist_size,
+            block_dim,
         );
         let out = his_polygon.to_vec();
         for b in 0..hist_size {
-            assert_eq!(out[2 * hist_size + b], b as u32 + 1, "bin {b}, bd {block_dim}");
+            assert_eq!(
+                out[2 * hist_size + b],
+                b as u32 + 1,
+                "bin {b}, bd {block_dim}"
+            );
         }
         assert!(out[..2 * hist_size].iter().all(|&v| v == 0));
     }
@@ -174,7 +186,9 @@ fn fig5_kernel_matches_reference_pip() {
     let flat = FlatPolygons::from_polygons(std::slice::from_ref(&poly));
     let tile_cells = 12usize;
     let cell = 0.1;
-    let raw: Vec<u16> = (0..tile_cells * tile_cells).map(|i| (i % 8) as u16).collect();
+    let raw: Vec<u16> = (0..tile_cells * tile_cells)
+        .map(|i| (i % 8) as u16)
+        .collect();
     let hist_size = 8usize;
 
     // Reference: sequential object-model PIP.
@@ -186,7 +200,10 @@ fn fig5_kernel_matches_reference_pip() {
             expected[raw[i] as usize] += 1;
         }
     }
-    assert!(expected.iter().sum::<u32>() > 0, "fixture must have inside cells");
+    assert!(
+        expected.iter().sum::<u32>() > 0,
+        "fixture must have inside cells"
+    );
 
     for block_dim in [1usize, 3, 16, 64] {
         let his = AtomicBufU32::new(hist_size);

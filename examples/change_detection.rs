@@ -26,7 +26,10 @@ use zonal_histo::zonal::zone_cluster::kmedoids;
 use zonal_histo::zonal::{PipelineConfig, ZoneHistograms};
 
 fn main() {
-    let n_epochs: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(12);
+    let n_epochs: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(12);
     let seed = 99;
 
     // Zones: a coarse county layer over CONUS.
@@ -100,5 +103,8 @@ fn main() {
             mean_val
         );
     }
-    println!("\ntotal clustering cost: {:.3} ({} iterations)", clustering.total_cost, clustering.iterations);
+    println!(
+        "\ntotal clustering cost: {:.3} ({} iterations)",
+        clustering.total_cost, clustering.iterations
+    );
 }

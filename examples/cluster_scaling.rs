@@ -13,7 +13,10 @@ use zonal_histo::geo::CountyConfig;
 use zonal_histo::zonal::pipeline::Zones;
 
 fn main() {
-    let cpd: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20);
+    let cpd: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
     let seed = 7;
     let zones = Zones::new(CountyConfig::us_like(seed).generate());
     println!(
@@ -22,7 +25,7 @@ fn main() {
     );
 
     let base = ClusterConfig::titan(1, cpd, seed);
-    let points = run_scaling(&base, &zones, &[1, 2, 4, 8, 16]);
+    let points = run_scaling(&base, &zones, &[1, 2, 4, 8, 16]).expect("scaling sweep");
 
     println!(
         "{:>7} {:>14} {:>9} {:>11} {:>11} {:>10}",
@@ -43,19 +46,28 @@ fn main() {
 
     // The §IV.C story: which nodes got the coverage-edge partitions?
     let (_, run16) = points.last().expect("at least one point");
-    println!("\nper-node Step-4 edge tests at {} nodes:", run16.nodes.len());
+    println!(
+        "\nper-node Step-4 edge tests at {} nodes:",
+        run16.nodes.len()
+    );
     for n in &run16.nodes {
-        let bar = "#".repeat((n.edge_tests / (1 + run16.nodes.iter().map(|m| m.edge_tests).max().unwrap_or(1) / 40)) as usize);
+        let bar = "#".repeat(
+            (n.edge_tests / (1 + run16.nodes.iter().map(|m| m.edge_tests).max().unwrap_or(1) / 40))
+                as usize,
+        );
         println!("  node {:>2}: {:>12}  {}", n.rank, n.edge_tests, bar);
     }
 
     // Balanced assignment ablation.
     let mut bal = ClusterConfig::titan(16, cpd, seed);
     bal.assignment = Assignment::BalancedByCells;
-    let bal_run = zonal_histo::cluster::run_cluster(&bal, &zones);
+    let bal_run = zonal_histo::cluster::run_cluster(&bal, &zones).expect("balanced run");
     println!(
         "\n16-node assignment: round-robin max/mean {:.2} vs balanced-by-cells {:.2}",
         run16.imbalance.max_over_mean, bal_run.imbalance.max_over_mean
     );
-    assert_eq!(run16.hists, bal_run.hists, "assignment must not change the answer");
+    assert_eq!(
+        run16.hists, bal_run.hists,
+        "assignment must not change the answer"
+    );
 }

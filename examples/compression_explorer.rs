@@ -27,7 +27,10 @@ fn dem_tile(side: usize, lon0: f64, lat0: f64, cells_per_degree: f64, seed: u64)
 fn main() {
     let seed = 20140519;
     println!("== tile size sweep (mountainous CONUS interior, native 3600 c/deg) ==");
-    println!("{:>8} {:>12} {:>12} {:>8}", "side", "raw B", "encoded B", "ratio");
+    println!(
+        "{:>8} {:>12} {:>12} {:>8}",
+        "side", "raw B", "encoded B", "ratio"
+    );
     for side in [16usize, 64, 128, 256, 360, 512] {
         let tile = dem_tile(side, -106.0, 39.0, 3600.0, seed);
         let enc = encode_tile(&tile);
@@ -53,7 +56,11 @@ fn main() {
     for (name, lon, lat) in regimes {
         let tile = dem_tile(360, lon, lat, 3600.0, seed);
         let enc = encode_tile(&tile);
-        let nodata = tile.values.iter().filter(|&&v| v == zonal_histo::raster::NODATA).count();
+        let nodata = tile
+            .values
+            .iter()
+            .filter(|&&v| v == zonal_histo::raster::NODATA)
+            .count();
         println!(
             "{:<22} encoded {:>7} B ({:>5.1}% of raw), {:>5.1}% no-data",
             name,
@@ -69,7 +76,13 @@ fn main() {
     let mut raw = 0u64;
     let mut enc = 0u64;
     for k in 0..16 {
-        let tile = dem_tile(360, -120.0 + (k % 4) as f64 * 12.0, 27.0 + (k / 4) as f64 * 5.0, 3600.0, seed);
+        let tile = dem_tile(
+            360,
+            -120.0 + (k % 4) as f64 * 12.0,
+            27.0 + (k / 4) as f64 * 5.0,
+            3600.0,
+            seed,
+        );
         raw += (tile.len() * 2) as u64;
         enc += encode_tile(&tile).len() as u64;
     }
@@ -82,5 +95,7 @@ fn main() {
         full_raw_gb / pcie,
         full_raw_gb * ratio / pcie
     );
-    println!("(the paper: 40 GB -> 7.3 GB turns ~16s of transfer into ~3s, offsetting decode cost)");
+    println!(
+        "(the paper: 40 GB -> 7.3 GB turns ~16s of transfer into ~3s, offsetting decode cost)"
+    );
 }

@@ -21,7 +21,10 @@ use zonal_histo::zonal::stats::histogram_quantile;
 use zonal_histo::zonal::{zonal_statistics, PipelineConfig};
 
 fn main() {
-    let cpd: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(30);
+    let cpd: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30);
     let seed = 20140519;
 
     println!("generating US-like county layer…");

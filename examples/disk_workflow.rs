@@ -68,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. Cross-check against the in-memory source.
     let from_memory = run_partition(&cfg, &zones, &dem);
-    assert_eq!(from_disk.hists, from_memory.hists, "storage must not change results");
+    assert_eq!(
+        from_disk.hists, from_memory.hists,
+        "storage must not change results"
+    );
     println!(
         "results identical from disk and memory: {} cells histogrammed over {} zones",
         from_disk.hists.total(),

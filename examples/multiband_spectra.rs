@@ -20,7 +20,10 @@ use zonal_histo::zonal::zone_cluster::kmedoids;
 use zonal_histo::zonal::PipelineConfig;
 
 fn main() {
-    let n_bands: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(6);
+    let n_bands: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(6);
     let seed = 1234;
 
     let mut county_cfg = CountyConfig::us_like(seed);
@@ -54,9 +57,9 @@ fn main() {
         print!(" {:>8}", format!("band{b}"));
     }
     println!();
-    for z in 0..6.min(zones.len()) {
+    for (z, row) in means.iter().enumerate().take(6.min(zones.len())) {
         print!("{:<16}", zones.layer.name(z));
-        for m in &means[z] {
+        for m in row {
             print!(" {:>8.1}", m);
         }
         println!();

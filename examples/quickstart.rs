@@ -44,7 +44,11 @@ fn main() {
     let result = run_partition(&cfg, &zones, &dem);
 
     // 4. Results: histogram totals and elevation stats per zone.
-    println!("\ncells histogrammed: {} of {}", result.hists.total(), result.counts.n_cells);
+    println!(
+        "\ncells histogrammed: {} of {}",
+        result.hists.total(),
+        result.counts.n_cells
+    );
     let stats = zonal_histo::zonal::zonal_statistics(&result.hists);
     println!("\nfirst five zones:");
     for (i, s) in stats.iter().take(5).enumerate() {

@@ -1,0 +1,228 @@
+//! Offline shim for `criterion`: same macro and builder surface, minimal
+//! statistics. Each benchmark runs a small fixed number of timed
+//! iterations and prints the median, so `cargo bench` still produces
+//! comparable numbers offline. See `shims/README.md`.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (printed alongside the time).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Benchmark identifier: `name/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    median_secs: f64,
+}
+
+impl Bencher {
+    /// Time `f` over `samples` iterations (after one warm-up) and record
+    /// the median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f());
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        self.median_secs = times[times.len() / 2];
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    fn effective_samples(&self) -> usize {
+        if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.effective_samples(),
+            median_secs: 0.0,
+        };
+        f(&mut b);
+        report(&id.to_string(), b.median_secs, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.effective_samples(),
+            throughput: None,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing sample/throughput settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            median_secs: 0.0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.median_secs,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            median_secs: 0.0,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.median_secs,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(label: &str, median_secs: f64, throughput: Option<Throughput>) {
+    let time = if median_secs >= 1.0 {
+        format!("{median_secs:.3} s")
+    } else if median_secs >= 1e-3 {
+        format!("{:.3} ms", median_secs * 1e3)
+    } else {
+        format!("{:.3} µs", median_secs * 1e6)
+    };
+    match throughput {
+        Some(Throughput::Bytes(n)) if median_secs > 0.0 => {
+            println!(
+                "{label:<50} {time:>12}  {:>10.2} MiB/s",
+                n as f64 / median_secs / (1 << 20) as f64
+            )
+        }
+        Some(Throughput::Elements(n)) if median_secs > 0.0 => {
+            println!(
+                "{label:<50} {time:>12}  {:>10.2} Melem/s",
+                n as f64 / median_secs / 1e6
+            )
+        }
+        _ => println!("{label:<50} {time:>12}"),
+    }
+}
+
+/// Define a benchmark group function invoking each target with a fresh
+/// `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_closures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).throughput(Throughput::Elements(100));
+        let mut ran = 0u32;
+        g.bench_with_input(BenchmarkId::new("count", 100), &100u32, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                (0..n).sum::<u32>()
+            })
+        });
+        g.finish();
+        assert!(ran >= 4, "warm-up + samples actually executed");
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline shim for `serde`.
+//!
+//! The repository only ever *derives* `Serialize`/`Deserialize` to mark
+//! report types; nothing serializes through serde at runtime. The shim
+//! therefore exposes the two names as no-op marker traits blanket-
+//! implemented for every type, and the derive macros (re-exported from
+//! the shim `serde_derive`) expand to nothing. `#[derive(Serialize)]`
+//! keeps compiling unchanged. See `shims/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

@@ -75,7 +75,9 @@ impl Flags {
     fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.values.get(key).map(Vec::as_slice) {
             None => Ok(default),
-            Some([v]) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+            Some([v]) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
             Some(_) => Err(format!("--{key} takes exactly one value")),
         }
     }
@@ -151,9 +153,19 @@ fn cmd_info(flags: &Flags) -> Result<(), String> {
     let bq = load_bq(&path).map_err(|e| e.to_string())?;
     let grid = bq.grid_ref();
     let stats = bq.stats();
-    let ext = grid.transform().extent(grid.raster_rows(), grid.raster_cols());
-    println!("raster:   {} x {} cells", grid.raster_rows(), grid.raster_cols());
-    println!("tiles:    {} ({} cells nominal edge)", grid.n_tiles(), grid.tile_cells());
+    let ext = grid
+        .transform()
+        .extent(grid.raster_rows(), grid.raster_cols());
+    println!(
+        "raster:   {} x {} cells",
+        grid.raster_rows(),
+        grid.raster_cols()
+    );
+    println!(
+        "tiles:    {} ({} cells nominal edge)",
+        grid.n_tiles(),
+        grid.tile_cells()
+    );
     println!(
         "extent:   [{:.4}, {:.4}] x [{:.4}, {:.4}] degrees",
         ext.min_x, ext.max_x, ext.min_y, ext.max_y

@@ -25,7 +25,9 @@ fn setup(seed: u64) -> (Zones, SyntheticSrtm) {
 #[test]
 fn compressed_and_raw_sources_agree() {
     let (zones, src) = setup(3);
-    let cfg = PipelineConfig::paper(DeviceSpec::gtx_titan()).with_tile_deg(1.0).with_bins(5000);
+    let cfg = PipelineConfig::paper(DeviceSpec::gtx_titan())
+        .with_tile_deg(1.0)
+        .with_bins(5000);
     let raw = run_partition(&cfg, &zones, &src);
     let bq = compress_source(&src);
     let comp = run_partition(&cfg, &zones, &bq);
@@ -53,6 +55,12 @@ fn every_tile_roundtrips_through_codec() {
     let bq = compress_source(&src);
     let grid = src.grid();
     for t in grid.iter() {
-        assert_eq!(bq.tile(t.tx, t.ty), src.tile(t.tx, t.ty), "tile ({}, {})", t.tx, t.ty);
+        assert_eq!(
+            bq.tile(t.tx, t.ty),
+            src.tile(t.tx, t.ty),
+            "tile ({}, {})",
+            t.tx,
+            t.ty
+        );
     }
 }

@@ -26,25 +26,41 @@ fn full_workflow() {
     let out = cli()
         .args(["generate", "--out"])
         .arg(&dem)
-        .args(["--extent", "-105", "38", "-103", "40", "--cpd", "20", "--seed", "7"])
+        .args([
+            "--extent", "-105", "38", "-103", "40", "--cpd", "20", "--seed", "7",
+        ])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "generate: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "generate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dem.exists());
 
     // zones
     let out = cli()
         .args(["zones", "--out"])
         .arg(&zones)
-        .args(["--extent", "-105", "38", "-103", "40", "--nx", "4", "--ny", "4", "--seed", "7"])
+        .args([
+            "--extent", "-105", "38", "-103", "40", "--nx", "4", "--ny", "4", "--seed", "7",
+        ])
         .output()
         .expect("run zones");
-    assert!(out.status.success(), "zones: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "zones: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let wkt = std::fs::read_to_string(&zones).expect("read zones");
     assert_eq!(wkt.lines().filter(|l| !l.trim().is_empty()).count(), 16);
 
     // info
-    let out = cli().args(["info", "--raster"]).arg(&dem).output().expect("run info");
+    let out = cli()
+        .args(["info", "--raster"])
+        .arg(&dem)
+        .output()
+        .expect("run info");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("40 x 40 cells"), "info output: {text}");
@@ -60,7 +76,11 @@ fn full_workflow() {
         .arg(&csv)
         .output()
         .expect("run run");
-    assert!(out.status.success(), "run: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "run: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let table = String::from_utf8_lossy(&out.stdout);
     // Header + 16 zone rows.
     assert_eq!(table.lines().count(), 17, "stats table: {table}");
@@ -79,7 +99,10 @@ fn bad_flags_fail_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
 
-    let out = cli().args(["frobnicate", "--x", "1"]).output().expect("spawn");
+    let out = cli()
+        .args(["frobnicate", "--x", "1"])
+        .output()
+        .expect("spawn");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
@@ -93,7 +116,11 @@ fn info_rejects_non_container() {
     let dir = tmpdir("badfile");
     let junk = dir.join("junk.zbqt");
     std::fs::write(&junk, b"this is not a raster container at all").expect("write junk");
-    let out = cli().args(["info", "--raster"]).arg(&junk).output().expect("spawn");
+    let out = cli()
+        .args(["info", "--raster"])
+        .arg(&junk)
+        .output()
+        .expect("spawn");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("ZBQT"));
     std::fs::remove_dir_all(&dir).ok();

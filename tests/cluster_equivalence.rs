@@ -1,7 +1,11 @@
 //! Distribution invariance: the cluster must compute exactly what a single
-//! node computes, for any node count, assignment policy, or strip size.
+//! node computes, for any node count, assignment policy, or strip size —
+//! and, under a recovering policy, for any survivable fault plan.
 
-use zonal_histo::cluster::{run_cluster, Assignment, ClusterConfig};
+use proptest::prelude::*;
+use zonal_histo::cluster::{
+    run_cluster, run_dynamic, Assignment, ClusterConfig, FaultPlan, RecoveryPolicy,
+};
 use zonal_histo::geo::CountyConfig;
 use zonal_histo::zonal::pipeline::Zones;
 
@@ -22,12 +26,21 @@ fn cfg(n: usize) -> ClusterConfig {
     c
 }
 
+/// Small, fast configuration for the chaos property (many runs per case).
+fn chaos_cfg(n: usize) -> ClusterConfig {
+    let mut c = ClusterConfig::titan(n, 4, SEED);
+    c.pipeline.tile_deg = 1.0;
+    c.pipeline.n_bins = 64;
+    c.detect_timeout_secs = 0.3;
+    c
+}
+
 #[test]
 fn all_node_counts_agree() {
     let zones = zones();
-    let reference = run_cluster(&cfg(1), &zones);
+    let reference = run_cluster(&cfg(1), &zones).unwrap();
     for n in [2usize, 3, 5, 8, 16, 36] {
-        let run = run_cluster(&cfg(n), &zones);
+        let run = run_cluster(&cfg(n), &zones).unwrap();
         assert_eq!(run.hists, reference.hists, "{n} nodes");
         assert_eq!(
             run.nodes.iter().map(|r| r.n_cells).sum::<u64>(),
@@ -40,10 +53,10 @@ fn all_node_counts_agree() {
 #[test]
 fn assignment_policies_agree() {
     let zones = zones();
-    let rr = run_cluster(&cfg(8), &zones);
+    let rr = run_cluster(&cfg(8), &zones).unwrap();
     let mut bcfg = cfg(8);
     bcfg.assignment = Assignment::BalancedByCells;
-    let bal = run_cluster(&bcfg, &zones);
+    let bal = run_cluster(&bcfg, &zones).unwrap();
     assert_eq!(rr.hists, bal.hists);
 }
 
@@ -54,15 +67,15 @@ fn master_combine_is_linear() {
     // thread scheduling; pin it with different node counts whose gather
     // orders differ.
     let zones = zones();
-    let a = run_cluster(&cfg(4), &zones);
-    let b = run_cluster(&cfg(4), &zones);
+    let a = run_cluster(&cfg(4), &zones).unwrap();
+    let b = run_cluster(&cfg(4), &zones).unwrap();
     assert_eq!(a.hists, b.hists, "combine order must not matter");
 }
 
 #[test]
 fn reports_complete_and_consistent() {
     let zones = zones();
-    let run = run_cluster(&cfg(5), &zones);
+    let run = run_cluster(&cfg(5), &zones).unwrap();
     assert_eq!(run.nodes.len(), 5);
     for (rank, r) in run.nodes.iter().enumerate() {
         assert_eq!(r.rank, rank);
@@ -70,4 +83,41 @@ fn reports_complete_and_consistent() {
     assert_eq!(run.nodes.iter().map(|r| r.n_partitions).sum::<usize>(), 36);
     assert!(run.sim_secs >= run.nodes.iter().map(|r| r.sim_secs).fold(0.0, f64::max));
     assert!(run.comm_secs > 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Chaos property: any seeded fault plan that crashes fewer than
+    /// `n_nodes - 1` workers (so at least one survives) must, under
+    /// `Reassign`, produce histograms bit-identical to a fault-free run —
+    /// in both the static and the self-scheduling runner — while charging
+    /// a nonzero recovery cost whenever something actually crashed.
+    #[test]
+    fn survivable_fault_plans_preserve_results(plan_seed in 0u64..10_000, n in 3usize..6) {
+        let zones = zones();
+        let plan = FaultPlan::random(plan_seed, n);
+        prop_assert!(plan.validate(n).is_ok(), "random plans are always survivable");
+
+        let clean = run_cluster(&chaos_cfg(n), &zones).unwrap();
+
+        let mut faulty = chaos_cfg(n);
+        faulty.faults = plan.clone();
+        faulty.recovery = RecoveryPolicy::Reassign;
+        let run = run_cluster(&faulty, &zones).unwrap();
+        prop_assert_eq!(&run.hists, &clean.hists, "static runner under plan {:?}", plan);
+        let mut crashed = plan.crashed_ranks();
+        crashed.sort_unstable();
+        prop_assert_eq!(&run.failed_ranks, &crashed);
+        if !crashed.is_empty() {
+            prop_assert!(run.recovery_secs > 0.0, "crash recovery is not free");
+        }
+
+        let mut dyn_faulty = chaos_cfg(n);
+        dyn_faulty.faults = plan.clone();
+        dyn_faulty.recovery = RecoveryPolicy::Reassign;
+        let dyn_run = run_dynamic(&dyn_faulty, &zones).unwrap();
+        prop_assert_eq!(&dyn_run.hists, &clean.hists, "dynamic runner under plan {:?}", plan);
+        prop_assert_eq!(&dyn_run.failed_ranks, &crashed);
+    }
 }

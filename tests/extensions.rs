@@ -29,7 +29,9 @@ fn setup() -> (Zones, GeoTransform, usize, usize) {
 #[test]
 fn temporal_pipeline_runs_and_epochs_differ() {
     let (zones, gt, rows, cols) = setup();
-    let cfg = PipelineConfig::paper(DeviceSpec::gtx_titan()).with_tile_deg(1.0).with_bins(2000);
+    let cfg = PipelineConfig::paper(DeviceSpec::gtx_titan())
+        .with_tile_deg(1.0)
+        .with_bins(2000);
     let result = run_epochs(&cfg, &zones, 5, |epoch| {
         EpochSource::new(TileGrid::for_degree_tile(rows, cols, 1.0, gt), 5, epoch)
     });
@@ -37,7 +39,10 @@ fn temporal_pipeline_runs_and_epochs_differ() {
     assert_eq!(result.n_zones(), zones.len());
     // Every epoch counts the same number of cells (same land mask)…
     let totals: Vec<u64> = result.epochs.iter().map(ZoneHistograms::total).collect();
-    assert!(totals.iter().all(|&t| t == totals[0] && t > 0), "{totals:?}");
+    assert!(
+        totals.iter().all(|&t| t == totals[0] && t > 0),
+        "{totals:?}"
+    );
     // …but the distributions evolve.
     let series = result.change_series(Measure::L1);
     assert!(
@@ -54,14 +59,18 @@ fn temporal_pipeline_runs_and_epochs_differ() {
 #[test]
 fn consecutive_epochs_closer_than_distant_ones() {
     let (zones, gt, rows, cols) = setup();
-    let cfg = PipelineConfig::paper(DeviceSpec::gtx_titan()).with_tile_deg(1.0).with_bins(2000);
+    let cfg = PipelineConfig::paper(DeviceSpec::gtx_titan())
+        .with_tile_deg(1.0)
+        .with_bins(2000);
     let mk = |epoch| EpochSource::new(TileGrid::for_degree_tile(rows, cols, 1.0, gt), 5, epoch);
     let e0 = zonal_histo::zonal::run_partition(&cfg, &zones, &mk(0)).hists;
     let e1 = zonal_histo::zonal::run_partition(&cfg, &zones, &mk(1)).hists;
     let e30 = zonal_histo::zonal::run_partition(&cfg, &zones, &mk(30)).hists;
     // Aggregate over zones: near epochs closer than distant ones.
     let dist = |a: &ZoneHistograms, b: &ZoneHistograms| -> f64 {
-        (0..zones.len()).map(|z| Measure::Emd1d.eval(a.zone(z), b.zone(z))).sum()
+        (0..zones.len())
+            .map(|z| Measure::Emd1d.eval(a.zone(z), b.zone(z)))
+            .sum()
     };
     let near = dist(&e0, &e1);
     let far = dist(&e0, &e30);
@@ -86,7 +95,9 @@ fn clustering_real_elevation_zones_separates_terrain() {
     // Cluster zones of a real pipeline run by elevation histogram: zones in
     // the same cluster should have similar mean elevations.
     let (zones, gt, rows, cols) = setup();
-    let cfg = PipelineConfig::paper(DeviceSpec::gtx_titan()).with_tile_deg(1.0).with_bins(5000);
+    let cfg = PipelineConfig::paper(DeviceSpec::gtx_titan())
+        .with_tile_deg(1.0)
+        .with_bins(5000);
     let grid = TileGrid::for_degree_tile(rows, cols, 1.0, gt);
     let dem = zonal_histo::raster::srtm::SyntheticSrtm::new(grid, 5);
     let hists = zonal_histo::zonal::run_partition(&cfg, &zones, &dem).hists;
@@ -99,7 +110,11 @@ fn clustering_real_elevation_zones_separates_terrain() {
         if n == 0 {
             return f64::NAN;
         }
-        h.iter().enumerate().map(|(v, &c)| v as f64 * c as f64).sum::<f64>() / n as f64
+        h.iter()
+            .enumerate()
+            .map(|(v, &c)| v as f64 * c as f64)
+            .sum::<f64>()
+            / n as f64
     };
     let means: Vec<f64> = (0..zones.len()).map(mean_of).collect();
     let valid: Vec<f64> = means.iter().copied().filter(|m| m.is_finite()).collect();

@@ -6,7 +6,7 @@ use zonal_histo::cluster::{run_scaling, ClusterConfig};
 use zonal_histo::geo::CountyConfig;
 use zonal_histo::gpusim::DeviceSpec;
 use zonal_histo::raster::srtm::{SrtmCatalog, SyntheticSrtm};
-use zonal_histo::zonal::pipeline::{run_partition, Zones, ZonalResult};
+use zonal_histo::zonal::pipeline::{run_partition, ZonalResult, Zones};
 use zonal_histo::zonal::PipelineConfig;
 
 const SEED: u64 = 20140519;
@@ -66,9 +66,18 @@ fn table2_step_ordering_and_device_ratios() {
     let r4 = quadro[4] / gtx[4];
     let r1 = quadro[1] / gtx[1];
     let r0 = quadro[0] / gtx[0];
-    assert!((2.0..=3.2).contains(&r4), "Step 4 Kepler speedup {r4:.2} (paper 2.6x)");
-    assert!((1.3..=2.0).contains(&r1), "Step 1 Kepler speedup {r1:.2} (paper 1.6x)");
-    assert!((1.5..=2.5).contains(&r0), "Step 0 Kepler speedup {r0:.2} (paper ~2x)");
+    assert!(
+        (2.0..=3.2).contains(&r4),
+        "Step 4 Kepler speedup {r4:.2} (paper 2.6x)"
+    );
+    assert!(
+        (1.3..=2.0).contains(&r1),
+        "Step 1 Kepler speedup {r1:.2} (paper 1.6x)"
+    );
+    assert!(
+        (1.5..=2.5).contains(&r0),
+        "Step 0 Kepler speedup {r0:.2} (paper ~2x)"
+    );
 
     // Steps total: Kepler close to half of Fermi (paper: "nearly reduced to
     // half"); end-to-end strictly larger than the steps total (transfers).
@@ -79,7 +88,10 @@ fn table2_step_ordering_and_device_ratios() {
         .with_device(DeviceSpec::quadro_6000())
         .steps_total_sim_secs_at_scale(f)
         / result.timings.steps_total_sim_secs_at_scale(f);
-    assert!((1.6..=2.8).contains(&s_ratio), "steps-total ratio {s_ratio:.2}");
+    assert!(
+        (1.6..=2.8).contains(&s_ratio),
+        "steps-total ratio {s_ratio:.2}"
+    );
 }
 
 #[test]
@@ -102,7 +114,7 @@ fn fig6_scaling_shape() {
     let mut base = ClusterConfig::titan(1, 10, SEED);
     base.pipeline.tile_deg = 0.5;
     base.pipeline.n_bins = 1000;
-    let pts = run_scaling(&base, &zones, &[1, 2, 4, 8]);
+    let pts = run_scaling(&base, &zones, &[1, 2, 4, 8]).expect("scaling sweep");
     let t: Vec<f64> = pts.iter().map(|(p, _)| p.sim_secs).collect();
     // Monotone decreasing.
     for w in t.windows(2) {
@@ -113,7 +125,10 @@ fn fig6_scaling_shape() {
     let s8 = t[0] / t[3];
     assert!((1.7..=2.05).contains(&s2), "2-node speedup {s2:.2}");
     assert!((4.0..8.05).contains(&s8), "8-node speedup {s8:.2}");
-    assert!(s8 < 8.0, "8-node speedup cannot be superlinear under the model");
+    assert!(
+        s8 < 8.0,
+        "8-node speedup cannot be superlinear under the model"
+    );
     // Imbalance grows with node count (paper §IV.C).
     let im: Vec<f64> = pts.iter().map(|(p, _)| p.imbalance_ratio).collect();
     assert!(im[3] >= im[1], "imbalance grows with nodes: {im:?}");
@@ -135,7 +150,10 @@ fn k20x_slower_than_gtx_titan_single_node() {
         .with_device(DeviceSpec::tesla_k20x())
         .steps_total_sim_secs_at_scale(f);
     let gap = k20x / gtx;
-    assert!((1.05..=1.45).contains(&gap), "K20X/GTX gap {gap:.2} (paper ~1.3 incl. MPI)");
+    assert!(
+        (1.05..=1.45).contains(&gap),
+        "K20X/GTX gap {gap:.2} (paper ~1.3 incl. MPI)"
+    );
 }
 
 #[test]
@@ -143,7 +161,10 @@ fn compression_claim_native_ratio() {
     // §IV.B: 40 GB -> 7.3 GB is 18.2% of raw; our native-tile ratio must be
     // in the same regime and the transfer argument must hold.
     let ratio = zonal_bench_ratio();
-    assert!((0.10..=0.35).contains(&ratio), "native ratio {ratio:.3} (paper 0.182)");
+    assert!(
+        (0.10..=0.35).contains(&ratio),
+        "native ratio {ratio:.3} (paper 0.182)"
+    );
     // Compressed transfer at 2.5 GB/s beats raw by at least 3x.
     assert!(1.0 / ratio > 3.0);
 }
@@ -155,7 +176,11 @@ fn zonal_bench_ratio() -> f64 {
     let mut raw = 0u64;
     let mut enc = 0u64;
     for k in 0..8 {
-        let gt = GeoTransform::per_degree(-120.0 + (k % 4) as f64 * 12.3, 28.0 + (k / 4) as f64 * 7.1, 3600);
+        let gt = GeoTransform::per_degree(
+            -120.0 + (k % 4) as f64 * 12.3,
+            28.0 + (k / 4) as f64 * 7.1,
+            3600,
+        );
         let grid = TileGrid::new(360, 360, 360, gt);
         let src = SyntheticSrtm::new(grid, SEED);
         let tile = src.tile(0, 0);

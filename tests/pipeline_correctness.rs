@@ -98,7 +98,10 @@ fn nodata_cells_accounted() {
         let (zones, src, _) = workload(seed);
         let cfg = PipelineConfig::paper(DeviceSpec::gtx_titan()).with_tile_deg(0.5);
         let r = run_partition(&cfg, &zones, &src);
-        assert_eq!(r.counts.n_valid_cells + r.counts.n_nodata_cells, r.counts.n_cells);
+        assert_eq!(
+            r.counts.n_valid_cells + r.counts.n_nodata_cells,
+            r.counts.n_cells
+        );
         // Counted cells can't exceed valid cells.
         assert!(r.hists.total() <= r.counts.n_valid_cells);
         saw_water |= r.counts.n_nodata_cells > 0;
@@ -121,18 +124,26 @@ fn bin_count_only_truncates() {
     // Reducing bins must only drop cells with values ≥ n_bins, bin-for-bin.
     let (zones, src, _) = workload(13);
     let full = run_partition(
-        &PipelineConfig::paper(DeviceSpec::gtx_titan()).with_tile_deg(0.5).with_bins(5000),
+        &PipelineConfig::paper(DeviceSpec::gtx_titan())
+            .with_tile_deg(0.5)
+            .with_bins(5000),
         &zones,
         &src,
     );
     let small = run_partition(
-        &PipelineConfig::paper(DeviceSpec::gtx_titan()).with_tile_deg(0.5).with_bins(300),
+        &PipelineConfig::paper(DeviceSpec::gtx_titan())
+            .with_tile_deg(0.5)
+            .with_bins(300),
         &zones,
         &src,
     );
     for z in 0..zones.len() {
         for b in 0..300 {
-            assert_eq!(small.hists.get(z, b), full.hists.get(z, b), "zone {z} bin {b}");
+            assert_eq!(
+                small.hists.get(z, b),
+                full.hists.get(z, b),
+                "zone {z} bin {b}"
+            );
         }
     }
 }
@@ -174,10 +185,16 @@ fn corner_mode_shifts_boundary_attribution() {
         &zones,
         &src,
     );
-    assert_ne!(base.hists, corner.hists, "different representatives must differ at boundaries");
+    assert_ne!(
+        base.hists, corner.hists,
+        "different representatives must differ at boundaries"
+    );
     // But both are partition rules: identical totals over a tessellation
     // would require identical land masks — compare approximately instead:
     // totals differ by less than the boundary-cell population.
     let delta = base.hists.total().abs_diff(corner.hists.total());
-    assert!(delta < base.counts.pip_cells_tested, "delta {delta} bounded by boundary cells");
+    assert!(
+        delta < base.counts.pip_cells_tested,
+        "delta {delta} bounded by boundary cells"
+    );
 }

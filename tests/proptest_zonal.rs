@@ -14,7 +14,13 @@ use zonal_histo::zonal::{baseline, PipelineConfig};
 /// may double-count cells without breaking any invariant checked here.
 fn layer_strategy() -> impl Strategy<Value = PolygonLayer> {
     prop::collection::vec(
-        (0.5f64..7.5, 0.5f64..5.5, 0.2f64..1.4, 3usize..24, prop::bool::ANY),
+        (
+            0.5f64..7.5,
+            0.5f64..5.5,
+            0.2f64..1.4,
+            3usize..24,
+            prop::bool::ANY,
+        ),
         1..6,
     )
     .prop_map(|shapes| {
