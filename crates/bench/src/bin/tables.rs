@@ -14,6 +14,7 @@
 //!   schedule     partition scheduling policies (§IV.C future work)
 //!   occupancy    shared-memory staging occupancy analysis (§III.D)
 //!   simplify     polygon simplification accuracy/cost tradeoff
+//!   sanitizer    tracked-buffer overhead of the kernel-sanitizer wiring
 //!   all          everything above
 //! ```
 //!
@@ -493,6 +494,77 @@ fn simplify_tradeoff(zones: &Zones, cpd: u32, seed: u64) {
     }
 }
 
+fn sanitizer_overhead(zones: &Zones, cpd: u32) {
+    println!("\n== Kernel sanitizer: tracked-buffer overhead ==");
+    println!(
+        "(sanitize feature {}: tracked accesses {} outside sanitized runs)\n",
+        if cfg!(feature = "sanitize") {
+            "ON"
+        } else {
+            "OFF"
+        },
+        if cfg!(feature = "sanitize") {
+            "pay one thread-local check each"
+        } else {
+            "compile to direct calls"
+        }
+    );
+    // Microbenchmark: the Step 3/4 hot operation — atomicAdd into the flat
+    // zone-histogram buffer — on the raw atomic buffer vs the tracked
+    // wrapper the pipeline now routes through. Best of several rounds to
+    // shed scheduler noise.
+    const OPS: usize = 4_000_000;
+    const BINS: usize = 4096;
+    const ROUNDS: usize = 5;
+    let raw = zonal_gpusim::AtomicBufU64::new(BINS);
+    let tracked = zonal_gpusim::TrackedBufU64::new(BINS);
+    let mut raw_secs = f64::INFINITY;
+    let mut tracked_secs = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        for i in 0..OPS {
+            raw.add(i % BINS, 1);
+        }
+        raw_secs = raw_secs.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        for i in 0..OPS {
+            tracked.add(i % BINS, 1);
+        }
+        tracked_secs = tracked_secs.min(t.elapsed().as_secs_f64());
+    }
+    assert_eq!(raw.to_vec(), tracked.to_vec(), "same adds on both buffers");
+    let ns = |s: f64| s / OPS as f64 * 1e9;
+    println!(
+        "{:<34} {:>10} {:>10}",
+        "atomicAdd into zone histogram", "ns/op", "overhead"
+    );
+    hline(58);
+    println!(
+        "{:<34} {:>10.2} {:>10}",
+        "AtomicBufU64 (raw)",
+        ns(raw_secs),
+        "1.00x"
+    );
+    println!(
+        "{:<34} {:>10.2} {:>9.2}x",
+        "TrackedBufU64 (pipeline buffer)",
+        ns(tracked_secs),
+        tracked_secs / raw_secs
+    );
+    // End-to-end: the full pipeline already runs on tracked device buffers,
+    // so its wall clock IS the instrumented-build figure; diff it against a
+    // default-features build of this same experiment for the total cost.
+    let cfg = paper_cfg(DeviceSpec::gtx_titan());
+    let t = Instant::now();
+    let (result, _stats) = run_full_compressed(&cfg, zones, cpd);
+    println!(
+        "\npipeline wall with tracked device buffers: {:.2}s ({} cells, {} zones)",
+        t.elapsed().as_secs_f64(),
+        result.counts.n_cells,
+        result.hists.n_zones()
+    );
+}
+
 fn main() {
     let args = parse_args();
     let exp = args.experiment.as_str();
@@ -513,6 +585,7 @@ fn main() {
                 | "schedule"
                 | "occupancy"
                 | "simplify"
+                | "sanitizer"
         );
     let zones = if need_zones {
         let t = Instant::now();
@@ -579,6 +652,9 @@ fn main() {
             args.seed,
         );
     }
+    if run_all || exp == "sanitizer" {
+        sanitizer_overhead(zones.as_ref().expect("zones"), args.cpd.unwrap_or(30));
+    }
     if !run_all
         && !matches!(
             exp,
@@ -592,6 +668,7 @@ fn main() {
                 | "schedule"
                 | "occupancy"
                 | "simplify"
+                | "sanitizer"
         )
     {
         eprintln!("unknown experiment '{exp}'; see --help text in the source header");

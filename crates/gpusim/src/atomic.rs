@@ -4,6 +4,40 @@
 //! buffers give the Rust kernels the same tool: any number of threads may
 //! `add` concurrently; the buffer converts back into a plain vector once the
 //! kernel completes (the device-to-host copy).
+//!
+//! # Memory-ordering audit
+//!
+//! Every operation here is `Ordering::Relaxed`, and that is deliberate.
+//! The happens-before model these buffers live under (formalized by
+//! [`crate::sanitizer`]'s epoch semantics) never asks an atomic operation
+//! to *publish* anything — cross-thread ordering is always established by
+//! a stronger external edge, one of:
+//!
+//! 1. **Barriers.** Inside a [`crate::block::SimtBlock`], `__syncthreads`
+//!    (a [`std::sync::Barrier`] or the sanitizer's divergence barrier, both
+//!    built on acquire/release internals) separates kernel phases. Relaxed
+//!    writes sequenced before a thread's barrier arrival happen-before
+//!    everything sequenced after any thread's corresponding departure, so
+//!    the zero-bins / sync / accumulate discipline of Fig. 2 is correct
+//!    with Relaxed stores.
+//! 2. **Thread join.** [`crate::exec::launch`] (rayon) and `SimtBlock`'s
+//!    scoped threads join before results are read; join is a full
+//!    happens-before edge, so `into_vec`/`to_vec` after a launch observe
+//!    every kernel write.
+//! 3. **Independence.** Between barriers, concurrent `add`s to the same
+//!    counter are pure counting: each `fetch_add` is an atomic
+//!    read-modify-write, every modification is applied exactly once
+//!    (modification order per location is total even under Relaxed), and
+//!    nobody reads the counter until an edge of kind 1 or 2. A counting
+//!    histogram therefore needs no acquire/release at all — the same
+//!    reason CUDA's `atomicAdd` has relaxed semantics by default.
+//!
+//! What Relaxed does **not** give is ordering *between different
+//! locations* with no barrier in between — exactly the class of bug the
+//! sanitizer's race detector reports (a non-atomic `store` concurrent
+//! with any other access). No ordering here was found too weak under that
+//! model; upgrading any of these to Acquire/Release would only mask
+//! missing-barrier bugs on real GPUs while slowing the emulation.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
@@ -41,18 +75,30 @@ macro_rules! atomic_buf {
             }
 
             /// `atomicAdd(&buf[i], v)`.
+            ///
+            /// Relaxed: counting only — never used to publish other data
+            /// (see the module-level ordering audit, case 3).
             #[inline]
             pub fn add(&self, i: usize, v: $prim) {
                 self.data[i].fetch_add(v, Ordering::Relaxed);
             }
 
-            /// Relaxed load of `buf[i]`.
+            /// Load of `buf[i]`, modelling a *non-atomic* GPU read.
+            ///
+            /// Relaxed: visibility of prior-phase writes comes from the
+            /// separating barrier (audit case 1), not from this load.
             #[inline]
             pub fn load(&self, i: usize) -> $prim {
                 self.data[i].load(Ordering::Relaxed)
             }
 
-            /// Non-atomic store; only safe logic-wise between kernel phases.
+            /// Store to `buf[i]`, modelling a *non-atomic* GPU write; only
+            /// safe logic-wise between kernel phases — the sanitizer treats
+            /// this as the dangerous access kind in its race rule.
+            ///
+            /// Relaxed: readers are separated by a barrier or join (audit
+            /// cases 1-2); concurrent unseparated access is a kernel bug
+            /// this crate's sanitizer exists to report, not to hide.
             #[inline]
             pub fn store(&self, i: usize, v: $prim) {
                 self.data[i].store(v, Ordering::Relaxed);

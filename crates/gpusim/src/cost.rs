@@ -157,6 +157,34 @@ impl WorkCounter {
     }
 }
 
+/// Global-memory transaction segment in bytes: both Fermi and Kepler
+/// service a warp's global accesses in 128-byte L1 lines, so the number of
+/// distinct 128-byte segments a warp touches is the number of transactions
+/// it costs. The sanitizer's uncoalesced-access lint and the scatter
+/// penalty in [`DeviceSpec::scatter_penalty`] both build on this.
+pub const MEM_SEGMENT_BYTES: u64 = 128;
+
+/// Count the memory transactions needed to service one warp-wide access:
+/// the number of distinct `segment`-byte segments covered by `byte_addrs`.
+///
+/// This is the quantity a coalesced kernel minimizes — 32 threads reading
+/// consecutive 4-byte words touch one 128-byte segment (1 transaction),
+/// while the same threads striding a column touch 32.
+pub fn memory_transactions(byte_addrs: impl IntoIterator<Item = u64>, segment: u64) -> u64 {
+    debug_assert!(segment > 0);
+    let mut segs: Vec<u64> = byte_addrs.into_iter().map(|a| a / segment).collect();
+    segs.sort_unstable();
+    segs.dedup();
+    segs.len() as u64
+}
+
+/// Fewest transactions that could possibly service `useful_bytes` bytes —
+/// what a perfectly packed access pattern achieves. Zero bytes cost zero.
+pub fn ideal_transactions(useful_bytes: u64, segment: u64) -> u64 {
+    debug_assert!(segment > 0);
+    useful_bytes.div_ceil(segment)
+}
+
 /// Prices counted work on a device.
 #[derive(Debug, Clone, Copy)]
 pub struct CostModel {
@@ -344,6 +372,37 @@ mod tests {
         assert_eq!(s.scattered_bytes, 1_024);
         assert_eq!(s.atomics, 1_792);
         assert_eq!(s.launches, 3, "launch count does not scale with data");
+    }
+
+    #[test]
+    fn coalesced_warp_is_one_transaction() {
+        // 32 threads × 4-byte words, consecutive: one 128-byte segment.
+        let addrs = (0..32u64).map(|t| t * 4);
+        assert_eq!(memory_transactions(addrs, MEM_SEGMENT_BYTES), 1);
+        assert_eq!(ideal_transactions(32 * 4, MEM_SEGMENT_BYTES), 1);
+    }
+
+    #[test]
+    fn strided_warp_touches_one_segment_each() {
+        // 32 threads striding a 256-byte-pitch column: 32 segments.
+        let addrs = (0..32u64).map(|t| t * 256);
+        assert_eq!(memory_transactions(addrs, MEM_SEGMENT_BYTES), 32);
+        assert_eq!(ideal_transactions(32 * 4, MEM_SEGMENT_BYTES), 1);
+    }
+
+    #[test]
+    fn duplicate_addresses_share_a_transaction() {
+        let addrs = [0u64, 0, 4, 120, 128];
+        assert_eq!(memory_transactions(addrs, MEM_SEGMENT_BYTES), 2);
+    }
+
+    #[test]
+    fn ideal_transactions_zero_bytes() {
+        assert_eq!(ideal_transactions(0, MEM_SEGMENT_BYTES), 0);
+        assert_eq!(
+            memory_transactions(std::iter::empty(), MEM_SEGMENT_BYTES),
+            0
+        );
     }
 
     #[test]

@@ -5,8 +5,17 @@
 //! them in any order. That contract maps directly onto a parallel iterator
 //! over block indices — which is how these launches execute. Anything a
 //! kernel writes must therefore go through owned per-block results
-//! ([`launch_map`]) or atomic buffers ([`crate::atomic`]), the same
-//! discipline CUDA imposes.
+//! ([`launch_map`]) or atomic buffers ([`crate::atomic`], or their
+//! sanitizer-aware [`crate::tracked`] wrappers), the same discipline CUDA
+//! imposes.
+//!
+//! Launches here are *not* traced by the kernel sanitizer: with blocks
+//! forbidden to communicate except via atomics, intra-block barrier/race
+//! discipline — what the sanitizer checks — is exercised on the
+//! [`crate::block::SimtBlock`] renditions of the same kernels instead, and
+//! a [`crate::tracked::TrackedBuf`] accessed outside a sanitized SIMT run
+//! costs one thread-local check per access (nothing at all without the
+//! `sanitize` feature).
 
 use rayon::prelude::*;
 

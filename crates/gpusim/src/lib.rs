@@ -23,6 +23,14 @@
 //!
 //! [`primitives`] supplies the Thrust primitives the paper composes Step 3
 //! from (`stable_sort_by_key`, `stable_partition`, `reduce_by_key`, `scan`).
+//!
+//! A third concern rides on the first two: **kernel discipline checking**.
+//! [`tracked`] wraps the atomic buffers so shared-state accesses are
+//! observable, and (under the `sanitize` feature) [`sanitizer`] runs a
+//! happens-before race detector, barrier-divergence diagnosis, and
+//! access-pattern lints over SIMT executions — the cuda-memcheck/racecheck
+//! analogue for this simulated GPU. With the feature off, [`tracked`]
+//! buffers compile down to the plain atomics and nothing else is built.
 
 pub mod atomic;
 pub mod block;
@@ -31,8 +39,14 @@ pub mod device;
 pub mod exec;
 pub mod occupancy;
 pub mod primitives;
+#[cfg(feature = "sanitize")]
+pub mod sanitizer;
+pub mod tracked;
 
 pub use atomic::{AtomicBufU32, AtomicBufU64};
 pub use cost::{CostModel, KernelClass, KernelWork, WorkCounter};
 pub use device::{Arch, DeviceSpec};
-pub use occupancy::{occupancy, BlockResources, Occupancy, SmLimits};
+pub use occupancy::{occupancy, BlockResources, Occupancy, SmLimits, WARP_SIZE};
+#[cfg(feature = "sanitize")]
+pub use sanitizer::{BlockReport, DivergenceReport, LintKind, LintReport, RaceKind, RaceReport};
+pub use tracked::{AccessKind, TrackedBuf, TrackedBufU32, TrackedBufU64};

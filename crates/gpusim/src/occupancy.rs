@@ -11,6 +11,11 @@
 use crate::device::Arch;
 use serde::{Deserialize, Serialize};
 
+/// Threads per warp — 32 on every Nvidia architecture the paper touches.
+/// The sanitizer's coalescing lint groups simultaneous accesses into warps
+/// of this width, matching how the hardware issues memory transactions.
+pub const WARP_SIZE: u32 = 32;
+
 /// Per-SM resource limits of an architecture generation (values for the
 /// paper's GPUs: Fermi GF100 and Kepler GK110).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -31,14 +36,14 @@ impl SmLimits {
                 max_blocks: 8,
                 shared_mem_bytes: 48 * 1024,
                 registers: 32 * 1024,
-                warp_size: 32,
+                warp_size: WARP_SIZE,
             },
             Arch::Kepler => SmLimits {
                 max_threads: 2048,
                 max_blocks: 16,
                 shared_mem_bytes: 48 * 1024,
                 registers: 64 * 1024,
-                warp_size: 32,
+                warp_size: WARP_SIZE,
             },
         }
     }

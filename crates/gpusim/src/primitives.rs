@@ -5,8 +5,11 @@
 //! and `scan` from the Thrust library. This module provides the same
 //! vocabulary: a sequential reference implementation of each primitive and,
 //! where the pipeline needs throughput, a parallel implementation with the
-//! identical contract. Property tests (`tests/primitives_prop.rs`) pin the
-//! parallel versions to the sequential ones.
+//! identical contract. Property tests (the workspace-level
+//! `tests/proptest_primitives.rs`) pin the parallel versions to the
+//! sequential ones; the barrier-placement discipline of the block-level
+//! scan these primitives mirror is machine-checked by the kernel
+//! sanitizer (`tests/simt_scan.rs` with `--features sanitize`).
 
 use rayon::prelude::*;
 

@@ -1,0 +1,265 @@
+//! Seeded kernel-bug fixtures proving the sanitizer's detectors fire.
+//!
+//! Two deliberately broken renditions of the paper's Fig. 2 kernel shape —
+//! a missing `__syncthreads` between the zero phase and the accumulate
+//! phase, and a barrier under a tid-dependent branch — plus fixtures for
+//! each lint and the out-of-bounds check. Every detection is asserted to
+//! be deterministic: the same seed must yield the identical report.
+
+#![cfg(feature = "sanitize")]
+
+use zonal_gpusim::block::SimtBlock;
+use zonal_gpusim::sanitizer::{BlockReport, LintKind, RaceKind};
+use zonal_gpusim::tracked::TrackedBufU32;
+
+const SEED: u64 = 0x5eed_2014;
+
+/// Raster values for the Fig. 2 fixtures, shifted by one so the thread
+/// that zeros bin `k` (tid `k % block_dim`) is *not* the thread that
+/// accumulates into it — the conflict is genuinely cross-thread.
+fn fig2_values(hist_size: usize) -> Vec<u16> {
+    (0..256).map(|i| ((i + 1) % hist_size) as u16).collect()
+}
+
+/// Fig. 2 shape with the line-5 `__syncthreads()` deleted: the zero phase
+/// and the accumulate phase share epoch 0, so a thread can zero a bin
+/// after another thread has already counted into it.
+fn missing_sync_report(block_dim: usize, seed: u64) -> BlockReport {
+    let hist_size = 16usize;
+    let values = fig2_values(hist_size);
+    let hist = TrackedBufU32::labelled("his_d_raster", hist_size);
+    SimtBlock::new(block_dim).run_sanitized(seed, |ctx| {
+        for k in ctx.strided(hist_size) {
+            hist.store(k, 0);
+        }
+        // BUG: no ctx.sync() here.
+        for i in ctx.strided(values.len()) {
+            hist.add(values[i] as usize, 1);
+        }
+        ctx.sync();
+    })
+}
+
+#[test]
+fn missing_sync_before_accumulate_is_a_race() {
+    let report = missing_sync_report(8, SEED);
+    assert!(
+        !report.races.is_empty(),
+        "zero phase and accumulate phase share an epoch: {report}"
+    );
+    let race = &report.races[0];
+    assert_eq!(race.buffer, "his_d_raster", "race names the buffer");
+    assert_eq!(race.kind, RaceKind::AtomicWrite, "store vs atomicAdd");
+    assert_eq!(race.first.epoch, 0, "both sides before any barrier");
+    assert_eq!(race.second.epoch, 0);
+    assert_ne!(race.first.tid, race.second.tid, "distinct threads named");
+    assert!(race.index < 16, "race names the bin index");
+}
+
+#[test]
+fn missing_sync_detection_is_deterministic() {
+    let a = missing_sync_report(8, SEED);
+    let b = missing_sync_report(8, SEED);
+    assert_eq!(a, b, "same seed, same report");
+    assert_eq!(format!("{a}"), format!("{b}"));
+    // And the fix silences it: the properly-synced kernel is clean (see
+    // `correct_fig2_shape_is_clean`).
+}
+
+#[test]
+#[should_panic(expected = "data race")]
+fn missing_sync_assert_clean_panics_with_diagnostic() {
+    missing_sync_report(8, SEED).assert_clean();
+}
+
+/// A barrier under a tid-dependent branch: the lower half of the block
+/// syncs, the upper half exits the kernel.
+fn divergent_barrier_report(block_dim: usize, seed: u64) -> BlockReport {
+    let scratch = TrackedBufU32::labelled("scratch", block_dim);
+    SimtBlock::new(block_dim).run_sanitized(seed, |ctx| {
+        scratch.store(ctx.tid, ctx.tid as u32);
+        if ctx.tid < ctx.block_dim / 2 {
+            ctx.sync(); // BUG: only half the block arrives.
+        }
+    })
+}
+
+#[test]
+fn divergent_barrier_is_diagnosed_not_hung() {
+    let report = divergent_barrier_report(8, SEED);
+    let d = report
+        .divergence
+        .as_ref()
+        .expect("divergence must be diagnosed");
+    assert_eq!(d.parked, vec![0, 1, 2, 3], "lower half parked at sync()");
+    assert_eq!(d.exited, vec![4, 5, 6, 7], "upper half exited the kernel");
+    assert_eq!(d.barrier_count, 0, "diverged before any full barrier");
+}
+
+#[test]
+fn divergence_detection_is_deterministic() {
+    let a = divergent_barrier_report(8, SEED);
+    let b = divergent_barrier_report(8, SEED);
+    assert_eq!(a.divergence, b.divergence);
+    assert_eq!(format!("{a}"), format!("{b}"));
+}
+
+#[test]
+#[should_panic(expected = "barrier divergence")]
+fn divergent_barrier_assert_clean_panics_with_diagnostic() {
+    divergent_barrier_report(8, SEED).assert_clean();
+}
+
+#[test]
+fn divergence_after_successful_barriers_reports_count() {
+    let buf = TrackedBufU32::labelled("buf", 4);
+    let report = SimtBlock::new(4).run_sanitized(SEED, |ctx| {
+        buf.store(ctx.tid, 1);
+        ctx.sync(); // barrier 0: everyone
+        ctx.sync(); // barrier 1: everyone
+        if ctx.tid == 0 {
+            ctx.sync(); // BUG: only tid 0
+        }
+    });
+    let d = report.divergence.expect("diverged on the third barrier");
+    assert_eq!(d.barrier_count, 2, "two full barriers before the hang");
+    assert_eq!(d.parked, vec![0]);
+    assert_eq!(d.exited, vec![1, 2, 3]);
+    assert_eq!(report.barriers, 2);
+}
+
+#[test]
+fn out_of_bounds_index_is_reported() {
+    let buf = TrackedBufU32::labelled("his", 8);
+    let report = SimtBlock::new(4).run_sanitized(SEED, |ctx| {
+        if ctx.tid == 2 {
+            buf.store(11, 1); // BUG: len is 8.
+        }
+    });
+    assert_eq!(report.oob.len(), 1);
+    let o = &report.oob[0];
+    assert_eq!(o.buffer, "his");
+    assert_eq!(o.index, 11);
+    assert_eq!(o.len, 8);
+    assert_eq!(o.tid, 2);
+    assert_eq!(o.epoch, 0);
+}
+
+#[test]
+fn rmw_without_atomic_is_linted() {
+    // The classic lost-update pattern: hist[v] = hist[v] + 1 instead of
+    // atomicAdd. Single thread, so no race — but the lint still fires.
+    let hist = TrackedBufU32::labelled("his", 4);
+    let report = SimtBlock::new(1).run_sanitized(SEED, |ctx| {
+        let _ = ctx;
+        let v = hist.load(2);
+        hist.store(2, v + 1);
+    });
+    assert!(report.races.is_empty());
+    assert!(
+        report
+            .lints
+            .iter()
+            .any(|l| l.kind == LintKind::RmwWithoutAtomic && l.buffer == "his"),
+        "{report}"
+    );
+}
+
+#[test]
+fn write_after_write_same_epoch_is_linted() {
+    let buf = TrackedBufU32::labelled("out", 4);
+    let report = SimtBlock::new(2).run_sanitized(SEED, |ctx| {
+        buf.store(ctx.tid, 1); // dead store
+        buf.store(ctx.tid, 2);
+        ctx.sync();
+    });
+    assert!(report.races.is_empty(), "{report}");
+    assert!(
+        report
+            .lints
+            .iter()
+            .any(|l| l.kind == LintKind::WriteAfterWriteSameEpoch && l.buffer == "out"),
+        "{report}"
+    );
+}
+
+#[test]
+fn column_major_stores_are_linted_uncoalesced() {
+    // 32 threads write a 32x32 tile column-major: thread t's k-th store
+    // lands at t*32 + k, so each warp-wide "instruction" spans 32 segments.
+    let tile = TrackedBufU32::labelled("tile", 32 * 32);
+    let report = SimtBlock::new(32).run_sanitized(SEED, |ctx| {
+        for k in 0..32 {
+            tile.store(ctx.tid * 32 + k, 0);
+        }
+        ctx.sync();
+    });
+    assert!(report.races.is_empty(), "{report}");
+    assert!(
+        report
+            .lints
+            .iter()
+            .any(|l| matches!(l.kind, LintKind::Uncoalesced { .. }) && l.buffer == "tile"),
+        "{report}"
+    );
+    // The row-major transpose of the same kernel is clean (below).
+}
+
+#[test]
+fn row_major_stores_are_clean() {
+    let tile = TrackedBufU32::labelled("tile", 32 * 32);
+    let report = SimtBlock::new(32).run_sanitized(SEED, |ctx| {
+        for k in 0..32 {
+            tile.store(k * 32 + ctx.tid, 0);
+        }
+        ctx.sync();
+    });
+    report.assert_clean();
+}
+
+#[test]
+fn correct_fig2_shape_is_clean() {
+    // The faithful Fig. 2 kernel: zero bins, sync, atomic accumulate —
+    // the same data and shape as `missing_sync_report`, with the barrier
+    // restored. The sanitizer goes quiet.
+    let hist_size = 16usize;
+    let values = fig2_values(hist_size);
+    let hist = TrackedBufU32::labelled("his_d_raster", hist_size);
+    let report = SimtBlock::new(8).run_sanitized(SEED, |ctx| {
+        for k in ctx.strided(hist_size) {
+            hist.store(k, 0);
+        }
+        ctx.sync();
+        for i in ctx.strided(values.len()) {
+            hist.add(values[i] as usize, 1);
+        }
+        ctx.sync();
+    });
+    report.assert_clean();
+    assert_eq!(report.barriers, 2);
+    assert!(report.accesses >= 256 + 16);
+    assert_eq!(hist.to_vec(), vec![16u32; hist_size]);
+}
+
+#[test]
+fn explore_schedules_merges_findings_deterministically() {
+    let hist_size = 16usize;
+    let values = fig2_values(hist_size);
+    let run = || {
+        let hist = TrackedBufU32::labelled("his_d_raster", hist_size);
+        SimtBlock::new(8).explore_schedules(&[1, 2, 3, 4], |ctx| {
+            for k in ctx.strided(hist_size) {
+                hist.store(k, 0);
+            }
+            // BUG: no sync.
+            for i in ctx.strided(values.len()) {
+                hist.add(values[i] as usize, 1);
+            }
+            ctx.sync();
+        })
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.races.is_empty());
+    assert_eq!(a, b, "seed sweep is reproducible end to end");
+}

@@ -5,30 +5,29 @@
 //! bug (reading after some threads have already overwritten) shows up
 //! immediately under real concurrent threads. Passing this for many block
 //! widths is strong evidence the [`SimtBlock`] emulator honours CUDA's
-//! barrier semantics, which the paper-kernel tests rely on.
+//! barrier semantics, which the paper-kernel tests rely on. Under
+//! `--features sanitize` the same kernel must also come back clean from
+//! the happens-before race detector: the double buffering plus the two
+//! barriers per step leave no same-epoch load/store pair.
 
-use zonal_gpusim::block::SimtBlock;
-use zonal_gpusim::AtomicBufU32;
+use zonal_gpusim::block::{SimtBlock, ThreadCtx};
+use zonal_gpusim::TrackedBufU32;
 
-/// Block-level inclusive scan over `data` (one element per thread),
-/// double-buffered exactly like the textbook CUDA kernel.
-fn block_inclusive_scan(data: &mut Vec<u32>) {
-    let n = data.len();
-    if n == 0 {
-        return;
+/// Doubling steps needed to scan `n` elements.
+fn scan_steps(n: usize) -> usize {
+    let mut s = 0;
+    let mut d = 1;
+    while d < n {
+        s += 1;
+        d <<= 1;
     }
-    let buf = [AtomicBufU32::from_vec(data.clone()), AtomicBufU32::new(n)];
-    // Ping-pong parity after each step; track it to read the result back.
-    let steps = {
-        let mut s = 0;
-        let mut d = 1;
-        while d < n {
-            s += 1;
-            d <<= 1;
-        }
-        s
-    };
-    SimtBlock::new(n).run(|ctx| {
+    s
+}
+
+/// The per-thread scan kernel, double-buffered exactly like the textbook
+/// CUDA listing: read `src`, barrier, write `dst`, barrier, swap.
+fn scan_body<'a>(buf: &'a [TrackedBufU32; 2], steps: usize) -> impl Fn(ThreadCtx<'_>) + Sync + 'a {
+    move |ctx| {
         let tid = ctx.tid;
         let mut offset = 1usize;
         let mut src = 0usize;
@@ -45,9 +44,34 @@ fn block_inclusive_scan(data: &mut Vec<u32>) {
             src = dst;
             offset <<= 1;
         }
-    });
-    let final_src = if steps % 2 == 0 { 0 } else { 1 };
+    }
+}
+
+/// Block-level inclusive scan over `data` (one element per thread).
+fn block_inclusive_scan(data: &mut Vec<u32>) {
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let buf = [
+        TrackedBufU32::labelled_from_vec("scan_ping", data.clone()),
+        TrackedBufU32::labelled("scan_pong", n),
+    ];
+    let steps = scan_steps(n);
+    SimtBlock::new(n).run(scan_body(&buf, steps));
+    let final_src = if steps.is_multiple_of(2) { 0 } else { 1 };
     *data = buf[final_src].to_vec();
+}
+
+fn reference_scan(input: &[u32]) -> Vec<u32> {
+    let mut acc = 0;
+    input
+        .iter()
+        .map(|&x| {
+            acc += x;
+            acc
+        })
+        .collect()
 }
 
 #[test]
@@ -56,15 +80,7 @@ fn scan_matches_reference_for_many_widths() {
         let input: Vec<u32> = (0..n as u32).map(|i| (i * 7 + 3) % 11).collect();
         let mut scanned = input.clone();
         block_inclusive_scan(&mut scanned);
-        let mut acc = 0;
-        let expected: Vec<u32> = input
-            .iter()
-            .map(|&x| {
-                acc += x;
-                acc
-            })
-            .collect();
-        assert_eq!(scanned, expected, "width {n}");
+        assert_eq!(scanned, reference_scan(&input), "width {n}");
     }
 }
 
@@ -86,5 +102,32 @@ fn repeated_runs_are_deterministic() {
         let mut b = input.clone();
         block_inclusive_scan(&mut b);
         assert_eq!(a, b);
+    }
+}
+
+#[cfg(feature = "sanitize")]
+#[test]
+fn scan_is_sanitizer_clean() {
+    // The double-buffered scan separates every read from every write to the
+    // same buffer by a barrier: the detector must agree, at several widths
+    // and under several schedule seeds, while the result stays correct.
+    for n in [8usize, 31, 64] {
+        let input: Vec<u32> = (0..n as u32).map(|i| (i * 5 + 1) % 9).collect();
+        for seed in [3u64, 0xfeed] {
+            let buf = [
+                TrackedBufU32::labelled_from_vec("scan_ping", input.clone()),
+                TrackedBufU32::labelled("scan_pong", n),
+            ];
+            let steps = scan_steps(n);
+            let report = SimtBlock::new(n).run_sanitized(seed, scan_body(&buf, steps));
+            report.assert_clean();
+            assert_eq!(report.barriers, 2 * steps as u32, "two barriers per step");
+            let final_src = if steps.is_multiple_of(2) { 0 } else { 1 };
+            assert_eq!(
+                buf[final_src].to_vec(),
+                reference_scan(&input),
+                "width {n}, seed {seed}"
+            );
+        }
     }
 }

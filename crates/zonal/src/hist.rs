@@ -1,7 +1,7 @@
 //! Zone histogram containers.
 
 use serde::{Deserialize, Serialize};
-use zonal_gpusim::AtomicBufU64;
+use zonal_gpusim::TrackedBufU64;
 
 /// Dense per-zone histograms: `n_zones × n_bins` counts in one flat array,
 /// the host-side mirror of the paper's `his_d_polygon` device array.
@@ -21,8 +21,8 @@ impl ZoneHistograms {
         }
     }
 
-    /// Reassemble from a flat vector (e.g. an [`AtomicBufU64`] drained after
-    /// a kernel).
+    /// Reassemble from a flat vector (e.g. a [`TrackedBufU64`] drained
+    /// after a kernel).
     pub fn from_flat(n_zones: usize, n_bins: usize, data: Vec<u64>) -> Self {
         assert_eq!(
             data.len(),
@@ -36,9 +36,12 @@ impl ZoneHistograms {
         }
     }
 
-    /// Allocate the matching atomic device buffer (zeroed).
-    pub fn device_buffer(n_zones: usize, n_bins: usize) -> AtomicBufU64 {
-        AtomicBufU64::new(n_zones * n_bins)
+    /// Allocate the matching atomic device buffer (zeroed). The buffer is
+    /// sanitizer-tracked under the paper's device-array name, so sanitized
+    /// kernel runs report against `his_d_polygon`; without the `sanitize`
+    /// feature it is a zero-cost wrapper over the plain atomic buffer.
+    pub fn device_buffer(n_zones: usize, n_bins: usize) -> TrackedBufU64 {
+        TrackedBufU64::labelled("his_d_polygon", n_zones * n_bins)
     }
 
     #[inline]

@@ -35,6 +35,7 @@ pub mod multiband;
 pub mod pairing;
 pub mod pipeline;
 pub mod representative;
+pub mod simt;
 pub mod stats;
 pub mod step1;
 pub mod step3;

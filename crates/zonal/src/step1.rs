@@ -4,8 +4,10 @@
 //! stride over the tile's cells updating bins with `atomicAdd` — the
 //! paper's Fig. 2 `CellAggrKernel`. Here each block executes on the
 //! work-stealing pool ([`zonal_gpusim::exec::launch_map`]); a
-//! barrier-faithful rendition of the same kernel is exercised by the SIMT
-//! tests in `tests/simt_kernels.rs`.
+//! barrier-faithful rendition of the same kernel lives in
+//! [`crate::simt::cell_aggr_kernel`], where the SIMT tests (and, under the
+//! `sanitize` feature, the kernel sanitizer) exercise its barrier and
+//! atomic structure.
 
 use zonal_gpusim::exec;
 use zonal_gpusim::WorkCounter;

@@ -7,7 +7,7 @@
 //! bin axis so accesses to both the tile and polygon histogram arrays
 //! coalesce.
 
-use zonal_gpusim::{exec, AtomicBufU64, WorkCounter};
+use zonal_gpusim::{exec, TrackedBufU64, WorkCounter};
 
 /// Add per-tile histograms into the flat zone histogram buffer
 /// (`zone * n_bins + bin` layout).
@@ -18,7 +18,7 @@ use zonal_gpusim::{exec, AtomicBufU64, WorkCounter};
 /// atomic buffer.
 pub fn aggregate_inside(
     pairs: &[(u32, &[u32])],
-    zone_hists: &AtomicBufU64,
+    zone_hists: &TrackedBufU64,
     n_bins: usize,
     fixed_work: &WorkCounter,
 ) {
@@ -46,7 +46,7 @@ mod tests {
 
     #[test]
     fn single_pair_aggregates() {
-        let zone = AtomicBufU64::new(2 * 4);
+        let zone = TrackedBufU64::new(2 * 4);
         let tile_hist = vec![1u32, 0, 5, 2];
         let wc = WorkCounter::new();
         aggregate_inside(&[(1, &tile_hist)], &zone, 4, &wc);
@@ -58,7 +58,7 @@ mod tests {
     #[test]
     fn many_tiles_same_polygon() {
         let n_bins = 8;
-        let zone = AtomicBufU64::new(3 * n_bins);
+        let zone = TrackedBufU64::new(3 * n_bins);
         let hists: Vec<Vec<u32>> = (0..50).map(|k| vec![k as u32; n_bins]).collect();
         let pairs: Vec<(u32, &[u32])> = hists.iter().map(|h| (2u32, h.as_slice())).collect();
         let wc = WorkCounter::new();
@@ -73,7 +73,7 @@ mod tests {
     #[test]
     fn concurrent_polygons_do_not_interfere() {
         let n_bins = 4;
-        let zone = AtomicBufU64::new(10 * n_bins);
+        let zone = TrackedBufU64::new(10 * n_bins);
         let one = vec![1u32; n_bins];
         let pairs: Vec<(u32, &[u32])> = (0..1000)
             .map(|i| ((i % 10) as u32, one.as_slice()))
@@ -91,7 +91,7 @@ mod tests {
     #[test]
     fn work_is_bin_proportional() {
         let n_bins = 16;
-        let zone = AtomicBufU64::new(n_bins);
+        let zone = TrackedBufU64::new(n_bins);
         let h = vec![0u32; n_bins];
         let pairs: Vec<(u32, &[u32])> = vec![(0, &h), (0, &h), (0, &h)];
         let wc = WorkCounter::new();
@@ -104,7 +104,7 @@ mod tests {
 
     #[test]
     fn empty_pairs_noop() {
-        let zone = AtomicBufU64::new(8);
+        let zone = TrackedBufU64::new(8);
         let wc = WorkCounter::new();
         aggregate_inside(&[], &zone, 4, &wc);
         assert!(zone.into_vec().iter().all(|&v| v == 0));

@@ -12,7 +12,7 @@
 
 use crate::representative::CellRepresentative;
 use zonal_geo::FlatPolygons;
-use zonal_gpusim::{exec, AtomicBufU64, WorkCounter};
+use zonal_gpusim::{exec, TrackedBufU64, WorkCounter};
 use zonal_raster::{TileData, TileGrid};
 
 /// Estimated arithmetic per edge test in the Fig. 5 inner loop (compares,
@@ -52,7 +52,7 @@ pub fn refine_intersect(
     pairs: &[(u32, u32, &TileData)],
     grid: &TileGrid,
     flat: &FlatPolygons,
-    zone_hists: &AtomicBufU64,
+    zone_hists: &TrackedBufU64,
     n_bins: usize,
     representative: CellRepresentative,
     cell_work: &WorkCounter,
@@ -120,7 +120,7 @@ mod tests {
         let flat = flat_of(Polygon::rect(-1.0, -1.0, 0.5, 2.0));
         let grid = one_tile_grid();
         let tile = TileData::filled(3, 10, 10);
-        let zone = AtomicBufU64::new(8);
+        let zone = TrackedBufU64::new(8);
         let wc = WorkCounter::new();
         let c = refine_intersect(
             &[(0, 0, &tile)],
@@ -145,7 +145,7 @@ mod tests {
         values[0] = NODATA;
         values[1] = 7000; // out of range for 8 bins
         let tile = TileData::new(values, 10, 10);
-        let zone = AtomicBufU64::new(8);
+        let zone = TrackedBufU64::new(8);
         let wc = WorkCounter::new();
         let c = refine_intersect(
             &[(0, 0, &tile)],
@@ -169,7 +169,7 @@ mod tests {
         let flat = flat_of(Polygon::new(vec![shell, hole]));
         let grid = one_tile_grid();
         let tile = TileData::filled(0, 10, 10);
-        let zone = AtomicBufU64::new(4);
+        let zone = TrackedBufU64::new(4);
         let wc = WorkCounter::new();
         let c = refine_intersect(
             &[(0, 0, &tile)],
@@ -197,7 +197,7 @@ mod tests {
         let flat = FlatPolygons::from_polygons(&polys);
         let grid = one_tile_grid();
         let tile = TileData::filled(2, 10, 10);
-        let zone = AtomicBufU64::new(2 * 4);
+        let zone = TrackedBufU64::new(2 * 4);
         let wc = WorkCounter::new();
         let c = refine_intersect(
             &[(0, 0, &tile), (1, 0, &tile)],
@@ -219,7 +219,7 @@ mod tests {
         let flat = flat_of(Polygon::rect(-1.0, -1.0, 0.5, 2.0)); // 4 edges + closure slot
         let grid = one_tile_grid();
         let tile = TileData::filled(0, 10, 10);
-        let zone = AtomicBufU64::new(4);
+        let zone = TrackedBufU64::new(4);
         let wc = WorkCounter::new();
         let c = refine_intersect(
             &[(0, 0, &tile)],
@@ -240,7 +240,7 @@ mod tests {
     fn empty_pairs() {
         let flat = flat_of(Polygon::rect(0.0, 0.0, 1.0, 1.0));
         let grid = one_tile_grid();
-        let zone = AtomicBufU64::new(4);
+        let zone = TrackedBufU64::new(4);
         let wc = WorkCounter::new();
         let c = refine_intersect(&[], &grid, &flat, &zone, 4, CellRepresentative::Center, &wc);
         assert_eq!(c, RefineCounts::default());

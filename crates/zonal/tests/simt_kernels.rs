@@ -3,120 +3,14 @@
 //! OS threads and real barriers. These tests validate that the kernels'
 //! thread/barrier/atomic structure — not just the math — is sound: a
 //! misplaced `__syncthreads` or a lost atomic would produce wrong counts
-//! here.
+//! here. The kernel bodies live in [`zonal_core::simt`], shared with the
+//! sanitizer harness: under `--features sanitize` the same kernels are
+//! additionally run through the happens-before race detector and must come
+//! back clean.
 
+use zonal_core::simt::{cell_aggr_kernel, pip_test_kernel, update_hist_kernel};
 use zonal_geo::{FlatPolygons, Point, Polygon, Ring};
-use zonal_gpusim::block::SimtBlock;
-use zonal_gpusim::AtomicBufU32;
-
-/// Fig. 2 `CellAggrKernel`: one block derives one tile's histogram.
-///
-/// ```cuda
-/// for (k = 0; k < hist_size; k += blockDim.x)
-///     if (k + threadIdx.x < hist_size) his[idx*hist_size + k + tid] = 0;
-/// __syncthreads();
-/// for (k = 0; k < tile*tile; k += blockDim.x)
-///     { v = raw[k + tid]; atomicAdd(&his[idx*hist_size + v], 1); }
-/// ```
-fn cell_aggr_kernel(
-    raw: &[u16],
-    hist: &AtomicBufU32,
-    tile_idx: usize,
-    hist_size: usize,
-    block_dim: usize,
-) {
-    SimtBlock::new(block_dim).run(|ctx| {
-        // Phase 1: zero this tile's bins (lines 2-4).
-        for k in ctx.strided(hist_size) {
-            hist.store(tile_idx * hist_size + k, 0);
-        }
-        ctx.sync(); // line 5
-                    // Phase 2: count cells (lines 6-11).
-        for p in ctx.strided(raw.len()) {
-            let v = raw[p] as usize;
-            if v < hist_size {
-                hist.add(tile_idx * hist_size + v, 1);
-            }
-        }
-        ctx.sync(); // line 12
-    });
-}
-
-/// Fig. 4 `UpdateHistKernel`: one block aggregates the per-tile histograms
-/// of one polygon's completely-inside tiles, striding the bin axis.
-#[allow(clippy::too_many_arguments)]
-fn update_hist_kernel(
-    pid_v: &[u32],
-    num_v: &[u32],
-    pos_v: &[u32],
-    tid_v: &[u32],
-    his_raster: &[u32],
-    his_polygon: &AtomicBufU32,
-    block_idx: usize,
-    hist_size: usize,
-    block_dim: usize,
-) {
-    let pid = pid_v[block_idx] as usize;
-    let num = num_v[block_idx] as usize;
-    let pos = pos_v[block_idx] as usize;
-    SimtBlock::new(block_dim).run(|ctx| {
-        // The paper's outer loop advances k uniformly across the block
-        // (`for (k = 0; k < hist_size; k += blockDim.x)`) so the barrier at
-        // line 9 is non-divergent even when blockDim does not divide
-        // hist_size — threads past the end still reach the barrier.
-        let mut k = 0;
-        while k < hist_size {
-            ctx.sync(); // line 9
-            let p = k + ctx.tid;
-            if p < hist_size {
-                for i in 0..num {
-                    let w = tid_v[pos + i] as usize;
-                    let v = his_raster[w * hist_size + p];
-                    // Line 13: `his_d_polygon[pid*hist_size+p] += v` — each
-                    // bin is owned by exactly one thread of this block, and
-                    // other blocks (other polygons) touch disjoint ranges.
-                    his_polygon.add(pid * hist_size + p, v);
-                }
-            }
-            k += ctx.block_dim;
-        }
-    });
-}
-
-/// Fig. 5 `pip_test_kernel`: one block refines one polygon's boundary tile,
-/// one thread per cell, ray-crossing inner loop over `ply_v`/`x_v`/`y_v`.
-#[allow(clippy::too_many_arguments)]
-fn pip_test_kernel(
-    flat: &FlatPolygons,
-    pid: usize,
-    raw: &[u16],
-    tile_cells: usize,
-    origin: Point,
-    cell: f64,
-    his_polygon: &AtomicBufU32,
-    hist_size: usize,
-    block_dim: usize,
-) {
-    SimtBlock::new(block_dim).run(|ctx| {
-        for i in ctx.strided(tile_cells * tile_cells) {
-            let (r, c) = (i / tile_cells, i % tile_cells);
-            // Fig. 5: _x1 = (c+0.5)*scale, _y1 = (r+0.5)*scale.
-            let p = Point::new(
-                origin.x + (c as f64 + 0.5) * cell,
-                origin.y + (r as f64 + 0.5) * cell,
-            );
-            if flat.contains(pid, p) {
-                let v = raw[i] as usize;
-                if v < hist_size {
-                    his_polygon.add(pid * hist_size + v, 1);
-                }
-            }
-        }
-        ctx.sync();
-    });
-}
-
-// ---------------------------------------------------------------------------
+use zonal_gpusim::TrackedBufU32;
 
 #[test]
 fn fig2_kernel_counts_exactly_per_block_dim() {
@@ -132,7 +26,7 @@ fn fig2_kernel_counts_exactly_per_block_dim() {
         e
     };
     for block_dim in [1usize, 7, 32, 64] {
-        let hist = AtomicBufU32::from_vec(vec![u32::MAX; 2 * hist_size]); // dirty
+        let hist = TrackedBufU32::labelled_from_vec("his_d_raster", vec![u32::MAX; 2 * hist_size]); // dirty
         cell_aggr_kernel(&raw, &hist, 1, hist_size, block_dim);
         let h = hist.to_vec();
         assert_eq!(&h[hist_size..], &expected[..], "block_dim {block_dim}");
@@ -150,9 +44,10 @@ fn fig4_kernel_aggregates_inside_tiles() {
         his_raster[hist_size + b] = 100; // tile 1 (not ours)
         his_raster[2 * hist_size + b] = 1; // tile 2
     }
+    let his_raster = TrackedBufU32::labelled_from_vec("his_d_raster", his_raster);
     let (pid_v, num_v, pos_v, tid_v) = (vec![2u32], vec![2u32], vec![0u32], vec![0u32, 2]);
     for block_dim in [1usize, 5, 16, 32] {
-        let his_polygon = AtomicBufU32::new(3 * hist_size);
+        let his_polygon = TrackedBufU32::labelled("his_d_polygon", 3 * hist_size);
         update_hist_kernel(
             &pid_v,
             &num_v,
@@ -206,7 +101,7 @@ fn fig5_kernel_matches_reference_pip() {
     );
 
     for block_dim in [1usize, 3, 16, 64] {
-        let his = AtomicBufU32::new(hist_size);
+        let his = TrackedBufU32::labelled("his_d_polygon", hist_size);
         pip_test_kernel(
             &flat,
             0,
@@ -229,12 +124,11 @@ fn fig2_then_fig4_composition() {
     let hist_size = 32usize;
     let tile_a: Vec<u16> = (0..256).map(|i| (i % 30) as u16).collect();
     let tile_b: Vec<u16> = (0..256).map(|i| ((i * 3) % 31) as u16).collect();
-    let his_raster = AtomicBufU32::new(2 * hist_size);
+    let his_raster = TrackedBufU32::labelled("his_d_raster", 2 * hist_size);
     cell_aggr_kernel(&tile_a, &his_raster, 0, hist_size, 16);
     cell_aggr_kernel(&tile_b, &his_raster, 1, hist_size, 16);
-    let his_raster = his_raster.into_vec();
 
-    let his_polygon = AtomicBufU32::new(hist_size);
+    let his_polygon = TrackedBufU32::labelled("his_d_polygon", hist_size);
     update_hist_kernel(
         &[0],
         &[2],
@@ -252,4 +146,94 @@ fn fig2_then_fig4_composition() {
         expected[v as usize] += 1;
     }
     assert_eq!(out, expected);
+}
+
+/// Under `--features sanitize`, the three paper kernels must pass the full
+/// detector — zero races, zero lints, zero out-of-bounds, no divergence —
+/// across several block widths and schedule seeds, while still computing
+/// the right histograms.
+#[cfg(feature = "sanitize")]
+mod sanitized {
+    use zonal_core::simt::{cell_aggr_checked, pip_test_checked, update_hist_checked};
+    use zonal_geo::{FlatPolygons, Point, Polygon, Ring};
+    use zonal_gpusim::TrackedBufU32;
+
+    const SEEDS: [u64; 3] = [1, 0xbeef, 0x2014_0520];
+
+    #[test]
+    fn fig2_kernel_is_sanitizer_clean() {
+        let hist_size = 64usize;
+        let raw: Vec<u16> = (0..1024).map(|i| ((i * 37) % 80) as u16).collect();
+        for block_dim in [7usize, 32] {
+            for seed in SEEDS {
+                let hist = TrackedBufU32::labelled("his_d_raster", 2 * hist_size);
+                let report = cell_aggr_checked(&raw, &hist, 1, hist_size, block_dim, seed);
+                report.assert_clean();
+                assert_eq!(report.barriers, 2, "both Fig. 2 barriers executed");
+                assert!(report.accesses > 0, "the kernel was actually traced");
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_kernel_is_sanitizer_clean() {
+        let hist_size = 16usize;
+        let his_raster = TrackedBufU32::labelled_from_vec(
+            "his_d_raster",
+            (0..3 * hist_size as u32).collect::<Vec<u32>>(),
+        );
+        let (pid_v, num_v, pos_v, tid_v) = (vec![2u32], vec![2u32], vec![0u32], vec![0u32, 2]);
+        for block_dim in [5usize, 16] {
+            for seed in SEEDS {
+                let his_polygon = TrackedBufU32::labelled("his_d_polygon", 3 * hist_size);
+                let report = update_hist_checked(
+                    &pid_v,
+                    &num_v,
+                    &pos_v,
+                    &tid_v,
+                    &his_raster,
+                    &his_polygon,
+                    0,
+                    hist_size,
+                    block_dim,
+                    seed,
+                );
+                report.assert_clean();
+                assert!(report.accesses > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_kernel_is_sanitizer_clean() {
+        let poly = Polygon::new(vec![
+            Ring::circle(Point::new(0.6, 0.6), 0.5, 16),
+            Ring::circle(Point::new(0.6, 0.6), 0.2, 8),
+        ]);
+        let flat = FlatPolygons::from_polygons(std::slice::from_ref(&poly));
+        let tile_cells = 12usize;
+        let raw: Vec<u16> = (0..tile_cells * tile_cells)
+            .map(|i| (i % 8) as u16)
+            .collect();
+        let hist_size = 8usize;
+        for block_dim in [3usize, 16] {
+            for seed in SEEDS {
+                let his = TrackedBufU32::labelled("his_d_polygon", hist_size);
+                let report = pip_test_checked(
+                    &flat,
+                    0,
+                    &raw,
+                    tile_cells,
+                    Point::new(0.0, 0.0),
+                    0.1,
+                    &his,
+                    hist_size,
+                    block_dim,
+                    seed,
+                );
+                report.assert_clean();
+                assert!(report.accesses > 0);
+            }
+        }
+    }
 }

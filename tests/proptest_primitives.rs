@@ -110,3 +110,87 @@ proptest! {
         prop_assert_eq!(rebuilt, keys);
     }
 }
+
+/// Property: over random Fig. 2-shaped kernels (random block width, seed,
+/// and raster data), the kernel sanitizer flags **exactly** the variants
+/// missing the barrier between the zero phase and the accumulate phase —
+/// every barrier-free kernel with a cross-thread conflict produces a race
+/// report, every barriered kernel is clean.
+#[cfg(feature = "sanitize")]
+mod sanitizer_props {
+    use proptest::prelude::*;
+    use zonal_histo::gpusim::block::SimtBlock;
+    use zonal_histo::gpusim::sanitizer::BlockReport;
+    use zonal_histo::gpusim::TrackedBufU32;
+
+    /// Zero-phase + accumulate-phase histogram kernel; `with_barrier`
+    /// decides whether the Fig. 2 line-5 `__syncthreads()` is present.
+    fn histogram_report(
+        block_dim: usize,
+        seed: u64,
+        data: &[u16],
+        hist_size: usize,
+        with_barrier: bool,
+    ) -> BlockReport {
+        let hist = TrackedBufU32::labelled("his_d_raster", hist_size);
+        SimtBlock::new(block_dim).run_sanitized(seed, |ctx| {
+            for k in ctx.strided(hist_size) {
+                hist.store(k, 0);
+            }
+            if with_barrier {
+                ctx.sync();
+            }
+            for i in ctx.strided(data.len()) {
+                hist.add(data[i] as usize, 1);
+            }
+            ctx.sync();
+        })
+    }
+
+    /// True iff some bin is zeroed by one thread and accumulated by
+    /// another — i.e. omitting the barrier creates a cross-thread race the
+    /// detector is required to find. (Without such a conflict — e.g. a
+    /// single-thread block — the barrier-free kernel is genuinely safe.)
+    fn has_cross_thread_conflict(block_dim: usize, data: &[u16], hist_size: usize) -> bool {
+        data.iter().enumerate().any(|(i, &v)| {
+            let accum_tid = i % block_dim;
+            let zero_tid = (v as usize) % block_dim;
+            (v as usize) < hist_size && accum_tid != zero_tid
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn sanitizer_flags_exactly_the_barrier_free_kernels(
+            block_dim in 2usize..9,
+            seed in 0u64..1000,
+            data in prop::collection::vec(0u16..8, 8..64),
+        ) {
+            let hist_size = 8usize;
+
+            let clean = histogram_report(block_dim, seed, &data, hist_size, true);
+            prop_assert!(
+                clean.races.is_empty() && clean.divergence.is_none(),
+                "barriered kernel must be race-free: {clean}"
+            );
+
+            let racy = histogram_report(block_dim, seed, &data, hist_size, false);
+            if has_cross_thread_conflict(block_dim, &data, hist_size) {
+                prop_assert!(
+                    !racy.races.is_empty(),
+                    "missing barrier with a cross-thread conflict must race: {racy}"
+                );
+                // Epoch-based detection is schedule-independent: the same
+                // seed reproduces the identical report.
+                prop_assert_eq!(&racy, &histogram_report(block_dim, seed, &data, hist_size, false));
+            } else {
+                prop_assert!(
+                    racy.races.is_empty(),
+                    "no cross-thread conflict, no race: {racy}"
+                );
+            }
+        }
+    }
+}
