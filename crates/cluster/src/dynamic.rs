@@ -267,7 +267,11 @@ pub fn run_dynamic(cfg: &ClusterConfig, zones: &Zones) -> ClusterResult<ClusterR
             let grid = part.grid(cfg.pipeline.tile_deg);
             let src = SyntheticSrtm::new(grid, cfg.seed);
             let r = run_partition(&cfg.pipeline, zones, &src);
-            all_costs.push((pidx, r.timings.end_to_end_sim_secs_at_scale(cell_factor)));
+            all_costs.push((
+                pidx,
+                r.timings
+                    .end_to_end_overlapped_sim_secs_at_scale(cell_factor),
+            ));
             let t_combine = std::time::Instant::now();
             hists.merge(&r.hists);
             combine_secs += t_combine.elapsed().as_secs_f64();
@@ -359,7 +363,11 @@ fn worker_body(
                 let grid = part.grid(pipeline.tile_deg);
                 let src = SyntheticSrtm::new(grid, seed);
                 let r = run_partition(&pipeline, zones, &src);
-                costs.push((pidx, r.timings.end_to_end_sim_secs_at_scale(cell_factor)));
+                costs.push((
+                    pidx,
+                    r.timings
+                        .end_to_end_overlapped_sim_secs_at_scale(cell_factor),
+                ));
                 n_cells += r.counts.n_cells;
                 edge_tests += r.counts.edge_tests;
                 local.merge(&r.hists);

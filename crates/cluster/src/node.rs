@@ -1,7 +1,7 @@
 //! Per-node worker logic.
 
 use serde::Serialize;
-use zonal_core::pipeline::{run_partition, Zones};
+use zonal_core::pipeline::{run_partitions, Zones};
 use zonal_core::{PipelineConfig, ZonalResult};
 use zonal_raster::partition::Partition;
 use zonal_raster::srtm::SyntheticSrtm;
@@ -25,7 +25,9 @@ pub struct NodeReport {
     /// Partitions processed.
     pub n_partitions: usize,
     /// Simulated device seconds for this node's whole share (steps +
-    /// host↔device transfers), optionally extrapolated by the caller.
+    /// host↔device transfers, with strip uploads overlapped behind
+    /// kernels as the paper's CUDA streams do), optionally extrapolated
+    /// by the caller.
     pub sim_secs: f64,
     /// Real wall seconds spent executing.
     pub wall_secs: f64,
@@ -60,25 +62,26 @@ impl NodeReport {
 /// return an empty result (possible when nodes > partitions).
 pub fn run_node(input: &NodeInput, zones: &Zones, cell_factor: f64) -> (ZonalResult, NodeReport) {
     let t = std::time::Instant::now();
-    let mut merged: Option<ZonalResult> = None;
-    for part in &input.partitions {
-        let grid = part.grid(input.pipeline.tile_deg);
-        let source = SyntheticSrtm::new(grid, input.seed);
-        let r = run_partition(&input.pipeline, zones, &source);
-        match &mut merged {
-            None => merged = Some(r),
-            Some(m) => m.merge(&r),
+    let sources: Vec<SyntheticSrtm> = input
+        .partitions
+        .iter()
+        .map(|part| SyntheticSrtm::new(part.grid(input.pipeline.tile_deg), input.seed))
+        .collect();
+    let result = if sources.is_empty() {
+        ZonalResult {
+            hists: zonal_core::ZoneHistograms::new(zones.len(), input.pipeline.n_bins),
+            timings: zonal_core::PipelineTimings::new(input.pipeline.device),
+            counts: Default::default(),
         }
-    }
-    let result = merged.unwrap_or_else(|| ZonalResult {
-        hists: zonal_core::ZoneHistograms::new(zones.len(), input.pipeline.n_bins),
-        timings: zonal_core::PipelineTimings::new(input.pipeline.device),
-        counts: Default::default(),
-    });
+    } else {
+        run_partitions(&input.pipeline, zones, &sources)
+    };
     let report = NodeReport {
         rank: input.rank,
         n_partitions: input.partitions.len(),
-        sim_secs: result.timings.end_to_end_sim_secs_at_scale(cell_factor),
+        sim_secs: result
+            .timings
+            .end_to_end_overlapped_sim_secs_at_scale(cell_factor),
         wall_secs: t.elapsed().as_secs_f64(),
         n_cells: result.counts.n_cells,
         edge_tests: result.counts.edge_tests,

@@ -76,7 +76,10 @@ pub fn measure_partition_costs(
     for p in &parts {
         let src = SyntheticSrtm::new(p.grid(cfg.tile_deg), seed);
         let r = run_partition(cfg, zones, &src);
-        costs.push(r.timings.end_to_end_sim_secs_at_scale(cell_factor));
+        costs.push(
+            r.timings
+                .end_to_end_overlapped_sim_secs_at_scale(cell_factor),
+        );
         cells.push(p.cells());
     }
     (costs, cells)

@@ -211,6 +211,60 @@ impl CostModel {
     pub fn transfer_secs(&self, bytes: u64) -> f64 {
         bytes as f64 / (self.device.pcie_gbps * 1e9)
     }
+
+    /// Fractional-byte variant of [`CostModel::transfer_secs`], for
+    /// ratio-scaled extrapolations where rounding per strip would drift.
+    pub fn transfer_secs_f(&self, bytes: f64) -> f64 {
+        bytes / (self.device.pcie_gbps * 1e9)
+    }
+
+    /// Makespan of a CUDA-stream-style strip pipeline: strip uploads
+    /// (H2D transfer + decode input staging) run on the copy engine(s)
+    /// while kernels for earlier strips execute, subject to a bounded
+    /// number of strips resident on the device.
+    ///
+    /// The model is a two-stage pipeline recurrence over strips in
+    /// order, with depth `1 + copy_engines` strips in flight: strip
+    /// `i`'s upload may only begin once strip `i - depth` has finished
+    /// computing (its buffers are recycled), and a single copy engine
+    /// serializes uploads while two engines let the next upload start
+    /// behind an in-progress one:
+    ///
+    /// ```text
+    /// xfer_done[i] = max(xfer_done[i-1], comp_done[i-depth]) + transfer[i]
+    /// comp_done[i] = max(comp_done[i-1], xfer_done[i]) + compute[i]
+    /// ```
+    ///
+    /// The result is always ≥ both the total transfer time and the total
+    /// compute time (nothing is free), and ≤ their sum (the serial
+    /// schedule is admissible) — the gap to the serial sum is the hidden
+    /// transfer the paper attributes to streams.
+    pub fn overlapped_pipeline_secs(&self, strips: &[StripCost]) -> f64 {
+        let depth = 1 + self.device.copy_engines as usize;
+        let mut xfer_done = vec![0.0f64; strips.len()];
+        let mut comp_done = vec![0.0f64; strips.len()];
+        for (i, s) in strips.iter().enumerate() {
+            let engine_free = if i > 0 { xfer_done[i - 1] } else { 0.0 };
+            let slot_free = if i >= depth {
+                comp_done[i - depth]
+            } else {
+                0.0
+            };
+            xfer_done[i] = engine_free.max(slot_free) + s.transfer_secs;
+            let prev_comp = if i > 0 { comp_done[i - 1] } else { 0.0 };
+            comp_done[i] = prev_comp.max(xfer_done[i]) + s.compute_secs;
+        }
+        comp_done.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Per-strip simulated costs feeding [`CostModel::overlapped_pipeline_secs`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StripCost {
+    /// H2D transfer time for the strip's (compressed) raster input.
+    pub transfer_secs: f64,
+    /// Kernel time for the strip's Steps 0/1/3/4 work.
+    pub compute_secs: f64,
 }
 
 #[cfg(test)]
@@ -402,6 +456,115 @@ mod tests {
         assert_eq!(
             memory_transactions(std::iter::empty(), MEM_SEGMENT_BYTES),
             0
+        );
+    }
+
+    #[test]
+    fn overlapped_pipeline_bounds() {
+        // Pipeline makespan is bounded below by each stage's serial total
+        // and above by the fully serial schedule.
+        let strips: Vec<StripCost> = (0..16)
+            .map(|i| StripCost {
+                transfer_secs: 0.5 + 0.1 * (i % 3) as f64,
+                compute_secs: 0.4 + 0.2 * (i % 5) as f64,
+            })
+            .collect();
+        let xfer_total: f64 = strips.iter().map(|s| s.transfer_secs).sum();
+        let comp_total: f64 = strips.iter().map(|s| s.compute_secs).sum();
+        for m in [gtx(), quadro()] {
+            let t = m.overlapped_pipeline_secs(&strips);
+            assert!(
+                t >= xfer_total - 1e-12,
+                "{}: {t} < {xfer_total}",
+                m.device.name
+            );
+            assert!(
+                t >= comp_total - 1e-12,
+                "{}: {t} < {comp_total}",
+                m.device.name
+            );
+            assert!(
+                t <= xfer_total + comp_total + 1e-12,
+                "{}: {t} > serial sum",
+                m.device.name
+            );
+            assert!(
+                t < xfer_total + comp_total,
+                "{}: pipeline should hide some transfer",
+                m.device.name
+            );
+        }
+    }
+
+    #[test]
+    fn overlapped_pipeline_edge_cases() {
+        let m = gtx();
+        assert_eq!(m.overlapped_pipeline_secs(&[]), 0.0);
+        let one = StripCost {
+            transfer_secs: 2.0,
+            compute_secs: 3.0,
+        };
+        // A single strip cannot overlap with anything: full fill + drain.
+        assert!((m.overlapped_pipeline_secs(&[one]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_state_is_per_strip_max() {
+        // With uniform strips the steady-state rate is max(a, b) per strip,
+        // plus one fill (transfer of the first) and one drain (compute of
+        // the last).
+        let m = gtx();
+        let n = 1000;
+        let strips = vec![
+            StripCost {
+                transfer_secs: 2.0,
+                compute_secs: 1.0
+            };
+            n
+        ];
+        let t = m.overlapped_pipeline_secs(&strips);
+        // Transfer-bound: makespan = n·2.0 + final compute 1.0.
+        assert!((t - (n as f64 * 2.0 + 1.0)).abs() < 1e-9, "got {t}");
+        let strips = vec![
+            StripCost {
+                transfer_secs: 1.0,
+                compute_secs: 2.0
+            };
+            n
+        ];
+        let t = m.overlapped_pipeline_secs(&strips);
+        // Compute-bound: fill 1.0 + n·2.0.
+        assert!((t - (1.0 + n as f64 * 2.0)).abs() < 1e-9, "got {t}");
+    }
+
+    #[test]
+    fn second_copy_engine_never_hurts() {
+        // A second copy engine deepens the pipeline (one more strip may be
+        // in flight), which only relaxes constraints. Same device otherwise.
+        let mut fermi_like = DeviceSpec::quadro_6000();
+        fermi_like.copy_engines = 1;
+        let mut kepler_like = fermi_like;
+        kepler_like.copy_engines = 2;
+        let strips: Vec<StripCost> = (0..64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    StripCost {
+                        transfer_secs: 3.0,
+                        compute_secs: 1.0,
+                    }
+                } else {
+                    StripCost {
+                        transfer_secs: 1.0,
+                        compute_secs: 3.0,
+                    }
+                }
+            })
+            .collect();
+        let t1 = CostModel::new(fermi_like).overlapped_pipeline_secs(&strips);
+        let t2 = CostModel::new(kepler_like).overlapped_pipeline_secs(&strips);
+        assert!(
+            t2 <= t1 + 1e-12,
+            "deeper pipeline can never be slower: {t2} vs {t1}"
         );
     }
 

@@ -40,6 +40,11 @@ pub struct DeviceSpec {
     pub atomic_gops: f64,
     /// Fixed per-kernel-launch overhead, microseconds.
     pub launch_overhead_us: f64,
+    /// Independent host↔device DMA (copy) engines. Fermi GeForce/Quadro
+    /// parts expose one; Kepler Tesla/GeForce parts expose two, letting
+    /// an upload overlap both a download and kernel execution. Bounds the
+    /// depth of the simulated stream pipeline (see `CostModel`).
+    pub copy_engines: u32,
 }
 
 impl DeviceSpec {
@@ -70,6 +75,7 @@ impl DeviceSpec {
             pcie_gbps: 2.5,
             atomic_gops: 1.15,
             launch_overhead_us: 10.0,
+            copy_engines: 1,
         }
     }
 
@@ -86,6 +92,7 @@ impl DeviceSpec {
             pcie_gbps: 2.5,
             atomic_gops: 1.85,
             launch_overhead_us: 8.0,
+            copy_engines: 2,
         }
     }
 
@@ -103,6 +110,7 @@ impl DeviceSpec {
             pcie_gbps: 2.5,
             atomic_gops: 1.62,
             launch_overhead_us: 8.0,
+            copy_engines: 2,
         }
     }
 }

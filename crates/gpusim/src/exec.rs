@@ -73,10 +73,14 @@ impl Grid2 {
 /// The CUDA strided-loop pattern
 /// `for (k = 0; k < n; k += blockDim) { i = k + tid; if (i < n) … }`
 /// as an iterator over the indices thread `tid` handles.
+/// Panics on `block_dim == 0` in all build profiles: a zero block
+/// dimension is an invalid launch configuration (CUDA rejects it at
+/// launch time), and masking it would silently serialize the loop.
+/// Mirrors `PipelineConfig::validate`.
 #[inline]
 pub fn strided(tid: usize, block_dim: usize, n: usize) -> impl Iterator<Item = usize> {
-    debug_assert!(block_dim > 0);
-    (tid..n).step_by(block_dim.max(1))
+    assert!(block_dim > 0, "strided: block_dim must be positive");
+    (tid..n).step_by(block_dim)
 }
 
 #[cfg(test)]
@@ -144,5 +148,12 @@ mod tests {
             "thread beyond n does nothing"
         );
         assert_eq!(strided(1, 256, 2).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "block_dim must be positive")]
+    fn strided_rejects_zero_block_dim() {
+        // Must fail loudly in release builds too, not degrade to stride 1.
+        let _ = strided(0, 0, 10);
     }
 }

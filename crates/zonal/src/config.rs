@@ -1,11 +1,11 @@
 //! Pipeline configuration.
 
 use crate::representative::CellRepresentative;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use zonal_gpusim::DeviceSpec;
 
 /// Knobs of the four-step pipeline, with the paper's defaults.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PipelineConfig {
     /// Tile edge length in degrees (paper §III.A: "we empirically set the
     /// tile size to 0.1 by 0.1 degree").
@@ -22,6 +22,12 @@ pub struct PipelineConfig {
     /// Memory high-water mark is `strip_rows × tiles_x × n_bins × 4` bytes
     /// of per-tile histograms.
     pub strip_rows: usize,
+    /// Maximum strips in flight in the streaming executor: the decode
+    /// stage may run this many strips ahead of compute, bounding host
+    /// memory at `inflight_strips × strip` decoded tiles. `1` disables
+    /// overlap (fully serial decode→compute per strip); `2` is classic
+    /// double buffering, matching a CUDA stream pair.
+    pub inflight_strips: usize,
     /// Which point(s) represent a cell in Step 4's tests (paper §III.D;
     /// default: cell centers).
     pub representative: CellRepresentative,
@@ -36,18 +42,21 @@ impl PipelineConfig {
             block_dim: 256,
             device,
             strip_rows: 4,
+            inflight_strips: 2,
             representative: CellRepresentative::Center,
         }
     }
 
-    /// A small configuration for unit tests.
+    /// A small configuration for unit tests. `tile_deg` matches the
+    /// 8-cell tiles of the 0.1°-resolution test grids (8 × 0.1° = 0.8°).
     pub fn test() -> Self {
         PipelineConfig {
-            tile_deg: 0.5,
+            tile_deg: 0.8,
             n_bins: 256,
             block_dim: 32,
             device: DeviceSpec::gtx_titan(),
             strip_rows: 2,
+            inflight_strips: 2,
             representative: CellRepresentative::Center,
         }
     }
@@ -72,6 +81,11 @@ impl PipelineConfig {
         self
     }
 
+    pub fn with_inflight_strips(mut self, inflight_strips: usize) -> Self {
+        self.inflight_strips = inflight_strips;
+        self
+    }
+
     /// Validate invariants; called by the pipeline entry points.
     pub fn validate(&self) {
         assert!(self.tile_deg > 0.0, "tile_deg must be positive");
@@ -82,6 +96,7 @@ impl PipelineConfig {
         );
         assert!(self.block_dim > 0, "block_dim must be positive");
         assert!(self.strip_rows > 0, "strip_rows must be positive");
+        assert!(self.inflight_strips > 0, "inflight_strips must be positive");
     }
 }
 
@@ -120,5 +135,11 @@ mod tests {
     #[should_panic(expected = "tile_deg")]
     fn zero_tile_rejected() {
         PipelineConfig::test().with_tile_deg(0.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "inflight_strips")]
+    fn zero_inflight_rejected() {
+        PipelineConfig::test().with_inflight_strips(0).validate();
     }
 }

@@ -8,6 +8,16 @@
 //! Peak memory is therefore bounded by the strip size regardless of raster
 //! size, the same property that lets the paper stream a 40 GB raster
 //! through a 6 GB GPU.
+//!
+//! Decode and compute are *overlapped*: a decode stage streams strips
+//! over a bounded channel to the compute stage, running up to
+//! `inflight_strips` ahead — the host-side rendition of the CUDA-stream
+//! double buffering the paper's implementation uses to hide strip
+//! uploads behind kernels. The compute stage drains strips strictly in
+//! order on one thread, so results are bit-identical to the serial
+//! schedule regardless of interleaving; only wall-clock time changes.
+//! The bounded channel caps live strips at `inflight_strips`, preserving
+//! the memory high-water mark.
 
 use crate::config::PipelineConfig;
 use crate::hist::ZoneHistograms;
@@ -15,10 +25,11 @@ use crate::pairing::{pair_tiles, PairTable};
 use crate::step1::per_tile_histograms;
 use crate::step3::aggregate_inside;
 use crate::step4::refine_intersect;
-use crate::timing::{PipelineCounts, PipelineTimings};
+use crate::timing::{PipelineCounts, PipelineTimings, StripWork};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use zonal_geo::{FlatPolygons, PolygonLayer};
-use zonal_gpusim::{exec, WorkCounter};
+use zonal_gpusim::{exec, KernelWork, WorkCounter};
 use zonal_raster::TileSource;
 
 /// Estimated decode arithmetic per cell (bitplane scatter + tree walk
@@ -71,7 +82,24 @@ impl ZonalResult {
     }
 }
 
+/// A strip emitted by the decode stage, carrying everything the compute
+/// stage needs. At most `inflight_strips` of these are alive at once.
+struct DecodedStrip {
+    strip: usize,
+    first_tid: usize,
+    tiles: Vec<zonal_raster::TileData>,
+    encoded_bytes: u64,
+    cells: u64,
+    decode_wall: f64,
+    decode_work: KernelWork,
+}
+
 /// Run the pipeline for one raster partition.
+///
+/// The source grid's tile size must agree with `cfg.tile_deg` at the
+/// grid's resolution (a grid built with `TileGrid::for_degree_tile(..,
+/// cfg.tile_deg, ..)` always does); a mismatch panics rather than
+/// silently pricing the wrong tiling.
 ///
 /// ```
 /// use zonal_core::pipeline::{run_partition, Zones};
@@ -86,6 +114,7 @@ impl ZonalResult {
 /// ]));
 /// let gt = GeoTransform::new(0.0, 0.0, 0.5, 0.5);
 /// let raster = Raster::from_fn(8, 8, gt, |_r, c| c as u16);
+/// // 4-cell tiles at 0.5°/cell ⇒ 2.0° tiles: matches tile_deg below.
 /// let grid = TileGrid::new(8, 8, 4, gt);
 ///
 /// let cfg = PipelineConfig::test().with_bins(8).with_tile_deg(2.0);
@@ -98,6 +127,20 @@ impl ZonalResult {
 pub fn run_partition(cfg: &PipelineConfig, zones: &Zones, source: &impl TileSource) -> ZonalResult {
     cfg.validate();
     let grid = source.grid();
+    // The grid comes solely from the source; reject a config/grid
+    // mismatch instead of silently ignoring `cfg.tile_deg`. Mirrors the
+    // rounding in `TileGrid::for_degree_tile`.
+    let expected_cells = ((cfg.tile_deg / grid.transform().sx).round() as usize).max(1);
+    assert_eq!(
+        grid.tile_cells(),
+        expected_cells,
+        "source grid tile size ({} cells) does not match cfg.tile_deg = {}° \
+         at {}°/cell resolution (expected {} cells)",
+        grid.tile_cells(),
+        cfg.tile_deg,
+        grid.transform().sx,
+        expected_cells,
+    );
     let n_zones = zones.len();
     let n_bins = cfg.n_bins;
 
@@ -130,60 +173,77 @@ pub fn run_partition(cfg: &PipelineConfig, zones: &Zones, source: &impl TileSour
     }
 
     let zone_buf = ZoneHistograms::device_buffer(n_zones, n_bins);
-    let s0_cell = WorkCounter::new();
-    let s1_cell = WorkCounter::new();
-    let s1_fixed = WorkCounter::new();
-    let s3_fixed = WorkCounter::new();
-    let s4_cell = WorkCounter::new();
 
-    for strip in 0..n_strips {
+    // ----- Decode stage (Step 0): one strip, pure function of the source.
+    let decode_strip = |strip: usize| -> DecodedStrip {
         let ty0 = strip * cfg.strip_rows;
         let ty1 = (ty0 + cfg.strip_rows).min(tiles_y);
         let first_tid = ty0 * tiles_x;
         let strip_tiles = (ty1 - ty0) * tiles_x;
-
-        // ----- Step 0: decode the strip's tiles --------------------------
         let t0 = Instant::now();
         let tiles = exec::launch_map(strip_tiles, |b| {
             let tid = first_tid + b;
             let (tx, ty) = grid.tile_pos(tid);
             source.tile(tx, ty)
         });
-        timings.steps[0].wall_secs += t0.elapsed().as_secs_f64();
-        let strip_cells: u64 = tiles.iter().map(|t| t.len() as u64).sum();
-        let strip_encoded: u64 = (0..strip_tiles)
+        let decode_wall = t0.elapsed().as_secs_f64();
+        let cells: u64 = tiles.iter().map(|t| t.len() as u64).sum();
+        let encoded_bytes: u64 = (0..strip_tiles)
             .map(|b| {
                 let (tx, ty) = grid.tile_pos(first_tid + b);
                 source.tile_encoded_bytes(tx, ty) as u64
             })
             .sum();
-        s0_cell.add_flops(strip_cells * DECODE_FLOPS_PER_CELL);
-        s0_cell.add_coalesced(strip_encoded + strip_cells * 2);
-        counts.n_cells += strip_cells;
-        counts.encoded_bytes += strip_encoded;
-        counts.raw_bytes += strip_cells * 2;
+        DecodedStrip {
+            strip,
+            first_tid,
+            tiles,
+            encoded_bytes,
+            cells,
+            decode_wall,
+            decode_work: KernelWork {
+                flops: cells * DECODE_FLOPS_PER_CELL,
+                coalesced_bytes: encoded_bytes + cells * 2,
+                ..Default::default()
+            },
+        }
+    };
+
+    // ----- Compute stage (Steps 1/3/4): drains strips strictly in order.
+    // Per-strip counters feed both the step totals and the per-strip
+    // stream records, so totals equal the sum over strips exactly.
+    let mut consume = |d: DecodedStrip| {
+        timings.steps[0].wall_secs += d.decode_wall;
+        counts.n_cells += d.cells;
+        counts.encoded_bytes += d.encoded_bytes;
+        counts.raw_bytes += d.cells * 2;
+
+        let s1_cell = WorkCounter::new();
+        let s1_fixed = WorkCounter::new();
+        let s3_fixed = WorkCounter::new();
+        let s4_cell = WorkCounter::new();
 
         // ----- Step 1: per-tile histograms --------------------------------
         let t1 = Instant::now();
-        let tile_hists = per_tile_histograms(&tiles, n_bins, &s1_cell, &s1_fixed);
+        let tile_hists = per_tile_histograms(&d.tiles, n_bins, &s1_cell, &s1_fixed);
         timings.steps[1].wall_secs += t1.elapsed().as_secs_f64();
         counts.n_valid_cells += tile_hists.iter().map(|h| h.valid_cells).sum::<u64>();
         counts.n_nodata_cells += tile_hists.iter().map(|h| h.skipped_cells).sum::<u64>();
 
         // ----- Step 3: aggregate inside tiles ------------------------------
         let t3 = Instant::now();
-        let agg_pairs: Vec<(u32, &[u32])> = inside_by_strip[strip]
+        let agg_pairs: Vec<(u32, &[u32])> = inside_by_strip[d.strip]
             .iter()
-            .map(|&(pid, tid)| (pid, tile_hists[tid as usize - first_tid].bins.as_slice()))
+            .map(|&(pid, tid)| (pid, tile_hists[tid as usize - d.first_tid].bins.as_slice()))
             .collect();
         aggregate_inside(&agg_pairs, &zone_buf, n_bins, &s3_fixed);
         timings.steps[3].wall_secs += t3.elapsed().as_secs_f64();
 
         // ----- Step 4: refine boundary tiles -------------------------------
         let t4 = Instant::now();
-        let ref_pairs: Vec<(u32, u32, &zonal_raster::TileData)> = intersect_by_strip[strip]
+        let ref_pairs: Vec<(u32, u32, &zonal_raster::TileData)> = intersect_by_strip[d.strip]
             .iter()
-            .map(|&(pid, tid)| (pid, tid, &tiles[tid as usize - first_tid]))
+            .map(|&(pid, tid)| (pid, tid, &d.tiles[tid as usize - d.first_tid]))
             .collect();
         let rc = refine_intersect(
             &ref_pairs,
@@ -198,13 +258,52 @@ pub fn run_partition(cfg: &PipelineConfig, zones: &Zones, source: &impl TileSour
         counts.pip_cells_tested += rc.cells_tested;
         counts.pip_cells_inside += rc.cells_inside;
         counts.edge_tests += rc.edge_tests;
-    }
 
-    timings.steps[0].cell_work = s0_cell.snapshot();
-    timings.steps[1].cell_work = s1_cell.snapshot();
-    timings.steps[1].fixed_work = s1_fixed.snapshot();
-    timings.steps[3].fixed_work = s3_fixed.snapshot();
-    timings.steps[4].cell_work = s4_cell.snapshot();
+        let mut sw = StripWork {
+            encoded_bytes: d.encoded_bytes,
+            raw_bytes: d.cells * 2,
+            ..Default::default()
+        };
+        sw.cell_work[0] = d.decode_work;
+        sw.cell_work[1] = s1_cell.snapshot();
+        sw.fixed_work[1] = s1_fixed.snapshot();
+        sw.fixed_work[3] = s3_fixed.snapshot();
+        sw.cell_work[4] = s4_cell.snapshot();
+        for i in 0..5 {
+            timings.steps[i].cell_work = timings.steps[i].cell_work.merge(&sw.cell_work[i]);
+            timings.steps[i].fixed_work = timings.steps[i].fixed_work.merge(&sw.fixed_work[i]);
+        }
+        timings.strips.push(sw);
+    };
+
+    if cfg.inflight_strips == 1 || n_strips <= 1 {
+        // Serial schedule: each strip fully decoded, then fully computed.
+        for strip in 0..n_strips {
+            consume(decode_strip(strip));
+        }
+    } else {
+        // Overlapped schedule: the decoder thread runs ahead, bounded so
+        // live strips never exceed `inflight_strips` (channel queue +
+        // the strip a blocked sender holds + the strip being computed).
+        let queue_cap = cfg.inflight_strips - 2;
+        let decode_strip = &decode_strip;
+        std::thread::scope(|s| {
+            let (tx, rx) = crossbeam::channel::bounded(queue_cap);
+            s.spawn(move || {
+                for strip in 0..n_strips {
+                    if tx.send(decode_strip(strip)).is_err() {
+                        break; // compute side panicked; unwind quietly
+                    }
+                }
+            });
+            let mut expected = 0;
+            while let Ok(d) = rx.recv() {
+                debug_assert_eq!(d.strip, expected, "strips must arrive in order");
+                expected += 1;
+                consume(d);
+            }
+        });
+    }
 
     let hists = ZoneHistograms::from_flat(n_zones, n_bins, zone_buf.into_vec());
     timings.raster_input_bytes = counts.encoded_bytes;
@@ -218,19 +317,62 @@ pub fn run_partition(cfg: &PipelineConfig, zones: &Zones, source: &impl TileSour
     }
 }
 
-/// Run the pipeline over several partitions sequentially (the single-node
+/// Run the pipeline over several partitions (the single-node
 /// configuration of the paper's Table 2) and merge the results.
+///
+/// Partitions are independent, so they run on a pool of worker threads
+/// (up to the host's parallelism); results are merged in partition
+/// order, making the outcome identical to the sequential loop no matter
+/// how the workers interleave.
 pub fn run_partitions<S: TileSource>(
     cfg: &PipelineConfig,
     zones: &Zones,
     sources: &[S],
 ) -> ZonalResult {
     assert!(!sources.is_empty(), "need at least one partition");
-    let mut iter = sources.iter();
-    let first = iter.next().expect("nonempty");
-    let mut result = run_partition(cfg, zones, first);
-    for source in iter {
-        result.merge(&run_partition(cfg, zones, source));
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(sources.len());
+    if workers <= 1 || sources.len() == 1 {
+        let mut iter = sources.iter();
+        let mut result = run_partition(cfg, zones, iter.next().expect("nonempty"));
+        for source in iter {
+            result.merge(&run_partition(cfg, zones, source));
+        }
+        return result;
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<ZonalResult>> = (0..sources.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= sources.len() {
+                    break;
+                }
+                let r = run_partition(cfg, zones, &sources[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        while let Ok((i, r)) = rx.recv() {
+            results[i] = Some(r);
+        }
+    });
+
+    let mut iter = results
+        .into_iter()
+        .map(|r| r.expect("every partition produced a result"));
+    let mut result = iter.next().expect("nonempty");
+    for r in iter {
+        result.merge(&r);
     }
     result
 }
@@ -317,6 +459,108 @@ mod tests {
             let r = run_partition(&cfg, &zones, &src);
             assert_eq!(r.hists, base.hists, "strip_rows={strip_rows}");
         }
+    }
+
+    #[test]
+    fn overlap_equivalence_suite() {
+        // The overlapped executor must be bit-identical to the serial
+        // schedule — histograms, counts, AND counted work — for every
+        // strip size × inflight depth combination.
+        let (zones, raster, grid) = simple_setup();
+        let src = raster.tile_source(&grid);
+        for strip_rows in [1usize, 3, 100] {
+            let mut serial_cfg = PipelineConfig::test().with_bins(8).with_inflight_strips(1);
+            serial_cfg.strip_rows = strip_rows;
+            let base = run_partition(&serial_cfg, &zones, &src);
+            for inflight in [1usize, 2, 4] {
+                let cfg = serial_cfg.with_inflight_strips(inflight);
+                let r = run_partition(&cfg, &zones, &src);
+                let tag = format!("strip_rows={strip_rows} inflight={inflight}");
+                assert_eq!(r.hists, base.hists, "{tag}: histograms");
+                assert_eq!(r.counts, base.counts, "{tag}: counts");
+                assert_eq!(
+                    r.timings.strips, base.timings.strips,
+                    "{tag}: per-strip work records"
+                );
+                for i in 0..5 {
+                    assert_eq!(
+                        r.timings.steps[i].cell_work, base.timings.steps[i].cell_work,
+                        "{tag}: step {i} cell work"
+                    );
+                    assert_eq!(
+                        r.timings.steps[i].fixed_work, base.timings.steps[i].fixed_work,
+                        "{tag}: step {i} fixed work"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_totals_equal_strip_sums() {
+        let (zones, raster, grid) = simple_setup();
+        let mut cfg = PipelineConfig::test().with_bins(8);
+        cfg.strip_rows = 1; // several strips
+        let r = run_partition(&cfg, &zones, &raster.tile_source(&grid));
+        assert!(r.timings.strips.len() > 1);
+        for i in 0..5 {
+            let cell_sum = r
+                .timings
+                .strips
+                .iter()
+                .fold(KernelWork::default(), |acc, s| acc.merge(&s.cell_work[i]));
+            let fixed_sum = r
+                .timings
+                .strips
+                .iter()
+                .fold(KernelWork::default(), |acc, s| acc.merge(&s.fixed_work[i]));
+            assert_eq!(r.timings.steps[i].cell_work, cell_sum, "step {i}");
+            assert_eq!(r.timings.steps[i].fixed_work, fixed_sum, "step {i}");
+        }
+        let encoded: u64 = r.timings.strips.iter().map(|s| s.encoded_bytes).sum();
+        assert_eq!(r.timings.raster_input_bytes, encoded);
+    }
+
+    #[test]
+    fn overlapped_sim_time_beats_serial_here() {
+        let (zones, raster, grid) = simple_setup();
+        let mut cfg = PipelineConfig::test().with_bins(8);
+        cfg.strip_rows = 1;
+        let r = run_partition(&cfg, &zones, &raster.tile_source(&grid));
+        let serial = r.timings.end_to_end_sim_secs();
+        let overlapped = r.timings.end_to_end_overlapped_sim_secs();
+        let steps = r.timings.steps_total_sim_secs_at_scale(1.0);
+        assert!(overlapped < serial, "{overlapped} !< {serial}");
+        assert!(overlapped >= steps, "{overlapped} !>= {steps}");
+    }
+
+    #[test]
+    fn parallel_run_partitions_matches_serial_merge() {
+        let (zones, raster, grid) = simple_setup();
+        let gt = *raster.transform();
+        let top = Raster::from_fn(20, 40, gt.shifted(20, 0), |r, c| raster.get(r + 20, c));
+        let bottom = Raster::from_fn(20, 40, gt, |r, c| raster.get(r, c));
+        let grid_b = TileGrid::new(20, 40, 8, gt);
+        let grid_t = TileGrid::new(20, 40, 8, gt.shifted(20, 0));
+        let cfg = PipelineConfig::test().with_bins(8);
+        let sources = vec![bottom.tile_source(&grid_b), top.tile_source(&grid_t)];
+        let pooled = run_partitions(&cfg, &zones, &sources);
+        let mut serial = run_partition(&cfg, &zones, &sources[0]);
+        serial.merge(&run_partition(&cfg, &zones, &sources[1]));
+        assert_eq!(pooled.hists, serial.hists);
+        assert_eq!(pooled.counts, serial.counts);
+        assert_eq!(pooled.timings.strips, serial.timings.strips);
+        let whole = run_partition(&cfg, &zones, &raster.tile_source(&grid));
+        assert_eq!(pooled.hists, whole.hists);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match cfg.tile_deg")]
+    fn grid_config_mismatch_rejected() {
+        let (zones, raster, grid) = simple_setup();
+        // 8-cell tiles at 0.1°/cell are 0.8° tiles; claiming 2.0° must fail.
+        let cfg = PipelineConfig::test().with_bins(8).with_tile_deg(2.0);
+        run_partition(&cfg, &zones, &raster.tile_source(&grid));
     }
 
     #[test]

@@ -7,23 +7,37 @@ pub mod channel {
 
     pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
-    /// Cloneable sending half of an unbounded channel.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    /// Cloneable sending half of a channel. Sends on a bounded channel
+    /// block while the channel is at capacity (backpressure), matching
+    /// crossbeam's `bounded` semantics.
+    pub struct Sender<T>(Inner<T>);
+
+    enum Inner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            Sender(match &self.0 {
+                Inner::Unbounded(s) => Inner::Unbounded(s.clone()),
+                Inner::Bounded(s) => Inner::Bounded(s.clone()),
+            })
         }
     }
 
     impl<T> Sender<T> {
-        /// Send a message; errors iff the receiver was dropped.
+        /// Send a message, blocking on a full bounded channel; errors iff
+        /// the receiver was dropped.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.0.send(msg)
+            match &self.0 {
+                Inner::Unbounded(s) => s.send(msg),
+                Inner::Bounded(s) => s.send(msg),
+            }
         }
     }
 
-    /// Receiving half of an unbounded channel.
+    /// Receiving half of a channel.
     pub struct Receiver<T>(mpsc::Receiver<T>);
 
     impl<T> Receiver<T> {
@@ -46,7 +60,15 @@ pub mod channel {
     /// Create an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (s, r) = mpsc::channel();
-        (Sender(s), Receiver(r))
+        (Sender(Inner::Unbounded(s)), Receiver(r))
+    }
+
+    /// Create a bounded FIFO channel holding at most `cap` queued
+    /// messages. `cap == 0` gives a rendezvous channel: every send
+    /// blocks until a receiver takes the message.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::sync_channel(cap);
+        (Sender(Inner::Bounded(s)), Receiver(r))
     }
 
     #[cfg(test)]
@@ -78,6 +100,26 @@ pub mod channel {
                 r.recv_timeout(Duration::from_millis(1)),
                 Err(RecvTimeoutError::Disconnected)
             ));
+        }
+
+        #[test]
+        fn bounded_preserves_fifo_order() {
+            let (s, r) = bounded(2);
+            std::thread::spawn(move || {
+                for i in 0..10u32 {
+                    s.send(i).unwrap(); // blocks whenever 2 are queued
+                }
+            });
+            let got: Vec<u32> = std::iter::from_fn(|| r.recv().ok()).collect();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn rendezvous_channel_works() {
+            let (s, r) = bounded(0);
+            let h = std::thread::spawn(move || s.send(42u32));
+            assert_eq!(r.recv().unwrap(), 42);
+            h.join().unwrap().unwrap();
         }
     }
 }

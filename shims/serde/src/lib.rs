@@ -1,16 +1,441 @@
-//! Offline shim for `serde`.
+//! Offline shim for `serde`: a real (if minimal) serialization framework.
 //!
-//! The repository only ever *derives* `Serialize`/`Deserialize` to mark
-//! report types; nothing serializes through serde at runtime. The shim
-//! therefore exposes the two names as no-op marker traits blanket-
-//! implemented for every type, and the derive macros (re-exported from
-//! the shim `serde_derive`) expand to nothing. `#[derive(Serialize)]`
-//! keeps compiling unchanged. See `shims/README.md`.
+//! Earlier revisions of this shim exposed `Serialize`/`Deserialize` as
+//! no-op marker traits, which made `#[derive(Deserialize)]` compile but
+//! meant timing/report JSON written by the bench harness could never be
+//! read back. The shim now implements the subset this workspace needs for
+//! real: both traits convert through a self-describing [`Value`] tree
+//! (the data model `serde_json` renders to and parses from), and the
+//! derive macros (re-exported from the shim `serde_derive`) generate real
+//! field-by-field implementations.
+//!
+//! Mapping conventions match `serde`'s defaults so swapping the real
+//! crates back in (see `shims/README.md`) changes no on-disk format:
+//! structs become maps keyed by field name, unit enum variants become
+//! strings, data-carrying variants become externally tagged
+//! single-entry maps, `Option::None` becomes null.
 
 pub use serde_derive::{Deserialize, Serialize};
 
-pub trait Serialize {}
-impl<T: ?Sized> Serialize for T {}
+use std::fmt;
 
-pub trait Deserialize {}
-impl<T: ?Sized> Deserialize for T {}
+/// The self-describing data model serialization goes through (the shim's
+/// equivalent of `serde_json::Value`). Unsigned and signed integers are
+/// kept distinct so `u64` counters round-trip losslessly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Key-value map in insertion order (field order for structs).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up a map entry by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) => "unsigned integer",
+            Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization (and shim `serde_json`) error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn expected(what: &str, ty: &str, got: &Value) -> Error {
+        Error(format!("expected {what} for {ty}, got {}", got.kind()))
+    }
+
+    pub fn missing_field(field: &str, ty: &str) -> Error {
+        Error(format!("missing field `{field}` of {ty}"))
+    }
+
+    pub fn unknown_variant(variant: &str, ty: &str) -> Error {
+        Error(format!("unknown variant `{variant}` of {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Fetch a struct field from a map, with a typed error when absent.
+pub fn map_get<'a>(v: &'a Value, field: &str, ty: &str) -> Result<&'a Value, Error> {
+    match v.as_map() {
+        Some(m) => m
+            .iter()
+            .find(|(k, _)| k == field)
+            .map(|(_, val)| val)
+            .ok_or_else(|| Error::missing_field(field, ty)),
+        None => Err(Error::expected("map", ty, v)),
+    }
+}
+
+/// Convert a value of this type into the [`Value`] data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct a value of this type from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls ---------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(Error::expected("integer", stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(Error::expected("integer", stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", "bool", other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(Error::expected("number", "f64", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", "String", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+/// Device and catalog names are `&'static str` preset constants; reading
+/// one back interns the parsed string. Only a handful of distinct names
+/// ever exist, so the leak is bounded.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(intern(s)),
+            other => Err(Error::expected("string", "&str", other)),
+        }
+    }
+}
+
+fn intern(s: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut pool = POOL
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("intern pool poisoned");
+    match pool.get(s) {
+        Some(interned) => interned,
+        None => {
+            let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+            pool.insert(leaked);
+            leaked
+        }
+    }
+}
+
+// ---- containers --------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_seq() {
+            Some(items) => items.iter().map(T::from_value).collect(),
+            None => Err(Error::expected("sequence", "Vec", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", "array", v))?;
+        if items.len() != N {
+            return Err(Error(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error("array length changed during parse".into()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = [$($idx),+].len();
+                let items = v
+                    .as_seq()
+                    .ok_or_else(|| Error::expected("sequence", "tuple", v))?;
+                if items.len() != LEN {
+                    return Err(Error(format!(
+                        "expected tuple of length {LEN}, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = String::from("hi");
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn out_of_range_integer_rejected() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn option_null_mapping() {
+        assert_eq!(None::<u16>.to_value(), Value::Null);
+        assert_eq!(Option::<u16>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u16>::from_value(&Value::U64(9)).unwrap(),
+            Some(9u16)
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u32, 2.5f64), (3, 4.5)];
+        assert_eq!(Vec::<(u32, f64)>::from_value(&v.to_value()).unwrap(), v);
+        let arr = [10u64, 20, 30];
+        assert_eq!(<[u64; 3]>::from_value(&arr.to_value()).unwrap(), arr);
+        assert!(<[u64; 2]>::from_value(&arr.to_value()).is_err());
+    }
+
+    #[test]
+    fn static_str_interned() {
+        let a = <&'static str>::from_value(&Value::Str("GTX Titan".into())).unwrap();
+        let b = <&'static str>::from_value(&Value::Str("GTX Titan".into())).unwrap();
+        assert_eq!(a, "GTX Titan");
+        assert!(std::ptr::eq(a, b), "repeat parses share one interned str");
+    }
+
+    #[test]
+    fn map_get_reports_missing_field() {
+        let v = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert!(map_get(&v, "a", "T").is_ok());
+        let err = map_get(&v, "b", "T").unwrap_err();
+        assert!(err.0.contains("missing field `b`"));
+    }
+}

@@ -1,15 +1,400 @@
-//! Offline shim for `serde_derive`: the derives expand to nothing because
-//! the shim `serde` crate blanket-implements its marker traits for all
-//! types. See `shims/README.md`.
+//! Offline shim for `serde_derive`: real `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` implementations built directly on
+//! `proc_macro` (no `syn`/`quote` in the offline image).
+//!
+//! Supported input shapes — the full set used by this workspace:
+//! named-field structs, tuple structs, unit structs, and enums with
+//! unit variants (optionally with explicit discriminants), tuple
+//! variants, and struct variants. Attributes (`#[...]`, doc comments)
+//! and visibility modifiers are skipped. Generic types and
+//! `#[serde(...)]` customization are not supported; the workspace uses
+//! neither.
+//!
+//! Generated code follows serde's default external data mapping so the
+//! JSON produced by the shim `serde_json` matches what the real crates
+//! would emit: structs serialize as maps keyed by field name, unit
+//! variants as strings, data-carrying variants as single-entry maps,
+//! and newtype (one-field tuple) variants carry their payload directly.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Def {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
 
 #[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_def(input);
+    let body = match &def.body {
+        Body::Struct(fields) => serialize_struct_body(fields),
+        Body::Enum(variants) => serialize_enum_body(&def.name, variants),
+    };
+    let src = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_variables)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}",
+        name = def.name,
+    );
+    src.parse().expect("serde_derive shim emitted invalid Rust")
 }
 
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_def(input);
+    let body = match &def.body {
+        Body::Struct(fields) => deserialize_struct_body(&def.name, fields),
+        Body::Enum(variants) => deserialize_enum_body(&def.name, variants),
+    };
+    let src = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_variables)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}",
+        name = def.name,
+    );
+    src.parse().expect("serde_derive shim emitted invalid Rust")
+}
+
+// ---- parsing -----------------------------------------------------------
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attrs_and_vis(iter: &mut TokenIter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_def(input: TokenStream) -> Def {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    let body = match kw.as_str() {
+        "struct" => Body::Struct(match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.clone();
+                Fields::Named(parse_named_fields(&g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.clone();
+                Fields::Tuple(count_tuple_fields(&g))
+            }
+            _ => Fields::Unit,
+        }),
+        "enum" => {
+            let group = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde_derive shim: expected enum body, got {other:?}"),
+            };
+            Body::Enum(parse_variants(&group))
+        }
+        other => panic!("serde_derive shim: cannot derive for `{other}`"),
+    };
+    Def { name, body }
+}
+
+/// Skip tokens until a comma at angle-bracket depth zero (a type, or an
+/// enum discriminant expression), consuming the comma. Commas nested in
+/// `(...)`/`[...]` groups are inside single `Group` tokens and thus
+/// invisible here; only `<...>` needs explicit depth tracking.
+fn skip_until_top_level_comma(iter: &mut TokenIter) {
+    let mut angle_depth = 0i32;
+    for tok in iter {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_named_fields(group: &Group) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = group.stream().into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            None => return fields,
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde_derive shim: expected `:` after field, got {other:?}"),
+                }
+                skip_until_top_level_comma(&mut iter);
+            }
+            Some(other) => panic!("serde_derive shim: unexpected token in struct body: {other}"),
+        }
+    }
+}
+
+fn count_tuple_fields(group: &Group) -> usize {
+    let mut iter = group.stream().into_iter().peekable();
+    let mut n = 0;
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        if iter.peek().is_none() {
+            return n;
+        }
+        n += 1;
+        skip_until_top_level_comma(&mut iter);
+    }
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = group.stream().into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => return variants,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive shim: unexpected token in enum body: {other}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.clone();
+                iter.next();
+                Fields::Tuple(count_tuple_fields(&g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.clone();
+                iter.next();
+                Fields::Named(parse_named_fields(&g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= 0`) and the trailing comma.
+        skip_until_top_level_comma(&mut iter);
+        variants.push(Variant { name, fields });
+    }
+}
+
+// ---- code generation ---------------------------------------------------
+
+fn key(name: &str) -> String {
+    format!("::std::string::String::from(\"{name}\")")
+}
+
+/// Map entries for named fields. `access_prefix` is `&self.` for struct
+/// fields and empty for match-arm bindings (already references).
+fn serialize_named(fields: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({}, ::serde::Serialize::to_value({access_prefix}{f}))",
+                key(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn serialize_struct_body(fields: &Fields) -> String {
+    match fields {
+        Fields::Named(fields) => serialize_named(fields, "&self."),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => {
+                    format!("{name}::{vname} => ::serde::Value::Str({}),", key(vname))
+                }
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let payload = if *n == 1 {
+                        "::serde::Serialize::to_value(f0)".to_string()
+                    } else {
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                    };
+                    format!(
+                        "{name}::{vname}({binds}) => ::serde::Value::Map(::std::vec![({key}, {payload})]),",
+                        binds = binds.join(", "),
+                        key = key(vname),
+                    )
+                }
+                Fields::Named(fields) => {
+                    let payload = serialize_named(fields, "");
+                    format!(
+                        "{name}::{vname} {{ {fields} }} => ::serde::Value::Map(::std::vec![({key}, {payload})]),",
+                        fields = fields.join(", "),
+                        key = key(vname),
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+fn deserialize_named(fields: &[String], ty_label: &str, source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::map_get({source}, \"{f}\", \"{ty_label}\")?)?"
+            )
+        })
+        .collect();
+    inits.join(", ")
+}
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(fields) => format!(
+            "::std::result::Result::Ok({name} {{ {} }})",
+            deserialize_named(fields, name, "v")
+        ),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\", \"{name}\", v))?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error(::std::format!(\n\
+                         \"expected {n} elements for {name}, got {{}}\", items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Fields::Unit => format!(
+            "match v {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(::serde::Error::expected(\"null\", \"{name}\", other)),\n\
+             }}"
+        ),
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                vname = v.name
+            )
+        })
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => None,
+                Fields::Tuple(1) => Some(format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?)),"
+                )),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let items = payload.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\", \"{name}::{vname}\", payload))?;\n\
+                             if items.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error(::std::format!(\n\
+                                     \"expected {n} elements for {name}::{vname}, got {{}}\", items.len())));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({items}))\n\
+                         }}",
+                        items = items.join(", ")
+                    ))
+                }
+                Fields::Named(fields) => Some(format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                    deserialize_named(fields, &format!("{name}::{vname}"), "payload")
+                )),
+            }
+        })
+        .collect();
+    format!(
+        "match v {{\n\
+             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::std::result::Result::Err(::serde::Error::unknown_variant(other, \"{name}\")),\n\
+             }},\n\
+             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (k, payload) = &entries[0];\n\
+                 match k.as_str() {{\n\
+                     {payload_arms}\n\
+                     other => ::std::result::Result::Err(::serde::Error::unknown_variant(other, \"{name}\")),\n\
+                 }}\n\
+             }}\n\
+             other => ::std::result::Result::Err(::serde::Error::expected(\n\
+                 \"variant name or single-entry map\", \"{name}\", other)),\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        payload_arms = payload_arms.join("\n"),
+    )
 }

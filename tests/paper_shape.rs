@@ -2,36 +2,51 @@
 //! roughly what factor, and where the orderings fall. These are the
 //! machine-checked versions of EXPERIMENTS.md's claims.
 
+use std::sync::OnceLock;
 use zonal_histo::cluster::{run_scaling, ClusterConfig};
 use zonal_histo::geo::CountyConfig;
 use zonal_histo::gpusim::DeviceSpec;
 use zonal_histo::raster::srtm::{SrtmCatalog, SyntheticSrtm};
-use zonal_histo::zonal::pipeline::{run_partition, ZonalResult, Zones};
+use zonal_histo::zonal::pipeline::{run_partitions, ZonalResult, Zones};
 use zonal_histo::zonal::PipelineConfig;
 
 const SEED: u64 = 20140519;
 
-/// US-shaped zones at reduced complexity (for test wall-time).
-fn zones() -> Zones {
-    let mut cfg = CountyConfig::us_like(SEED);
-    cfg.nx = 31;
-    cfg.ny = 25;
-    cfg.edge_subdiv = 3;
-    Zones::new(cfg.generate())
+/// US-shaped zones at reduced complexity (for test wall-time), generated
+/// once and shared across tests.
+fn zones() -> &'static Zones {
+    static Z: OnceLock<Zones> = OnceLock::new();
+    Z.get_or_init(|| {
+        let mut cfg = CountyConfig::us_like(SEED);
+        cfg.nx = 31;
+        cfg.ny = 25;
+        cfg.edge_subdiv = 3;
+        Zones::new(cfg.generate())
+    })
 }
 
-/// Run the whole catalog at a tiny resolution, merged.
-fn run_catalog(cfg: &PipelineConfig, zones: &Zones, cpd: u32) -> ZonalResult {
-    let mut merged: Option<ZonalResult> = None;
-    for part in SrtmCatalog::new(cpd).partitions() {
-        let src = SyntheticSrtm::new(part.grid(cfg.tile_deg), SEED);
-        let r = run_partition(cfg, zones, &src);
-        match &mut merged {
-            None => merged = Some(r),
-            Some(m) => m.merge(&r),
-        }
-    }
-    merged.expect("catalog nonempty")
+/// Run catalog partitions at a tiny resolution, merged. `stride` picks
+/// every n-th partition (1 = the whole catalog) so shape tests can run a
+/// spread-out sample instead of all 36 partitions.
+fn run_catalog(cfg: &PipelineConfig, zones: &Zones, cpd: u32, stride: usize) -> ZonalResult {
+    let sources: Vec<SyntheticSrtm> = SrtmCatalog::new(cpd)
+        .partitions()
+        .iter()
+        .step_by(stride)
+        .map(|part| SyntheticSrtm::new(part.grid(cfg.tile_deg), SEED))
+        .collect();
+    run_partitions(cfg, zones, &sources)
+}
+
+/// A stride-3 catalog sample (12 of 36 partitions) under the paper's GTX
+/// Titan config at 30 cells/degree: several tests assert different shapes
+/// of this same workload, so it runs once.
+fn shared_catalog() -> &'static ZonalResult {
+    static R: OnceLock<ZonalResult> = OnceLock::new();
+    R.get_or_init(|| {
+        let cfg = PipelineConfig::paper(DeviceSpec::gtx_titan());
+        run_catalog(&cfg, zones(), 30, 3)
+    })
 }
 
 #[test]
@@ -46,9 +61,11 @@ fn table1_catalog_totals() {
 fn table2_step_ordering_and_device_ratios() {
     // Step 4's dominance depends on boundary-tile density, so this test
     // needs the paper-density layer (~3,100 zones), not the reduced one.
+    // A stride-4 partition sample (9 of 36, spread across all rasters)
+    // keeps the step ratios while shedding most of the wall time.
     let zones = Zones::new(CountyConfig::us_like(SEED).generate());
     let cfg = PipelineConfig::paper(DeviceSpec::gtx_titan());
-    let result = run_catalog(&cfg, &zones, 20);
+    let result = run_catalog(&cfg, &zones, 20, 4);
     let f = 32_400.0; // (3600/20)^2: full-scale extrapolation
     let gtx = result.timings.step_sim_secs_at_scale(f);
     let quadro = result
@@ -98,9 +115,7 @@ fn table2_step_ordering_and_device_ratios() {
 fn table2_filtering_saves_most_pip_work() {
     // The design's raison d'être: most cells avoid individual PIP tests
     // (inside/outside tiles are resolved wholesale).
-    let zones = zones();
-    let cfg = PipelineConfig::paper(DeviceSpec::gtx_titan());
-    let result = run_catalog(&cfg, &zones, 30);
+    let result = shared_catalog();
     let frac = result.counts.pip_fraction();
     assert!(frac < 0.75, "PIP fraction {frac} should be well below 1");
     assert!(result.counts.inside_pairs > 0);
@@ -110,11 +125,10 @@ fn table2_filtering_saves_most_pip_work() {
 
 #[test]
 fn fig6_scaling_shape() {
-    let zones = zones();
-    let mut base = ClusterConfig::titan(1, 10, SEED);
+    let mut base = ClusterConfig::titan(1, 8, SEED);
     base.pipeline.tile_deg = 0.5;
     base.pipeline.n_bins = 1000;
-    let pts = run_scaling(&base, &zones, &[1, 2, 4, 8]).expect("scaling sweep");
+    let pts = run_scaling(&base, zones(), &[1, 2, 8]).expect("scaling sweep");
     let t: Vec<f64> = pts.iter().map(|(p, _)| p.sim_secs).collect();
     // Monotone decreasing.
     for w in t.windows(2) {
@@ -122,7 +136,7 @@ fn fig6_scaling_shape() {
     }
     // Near-linear at 2 nodes, sub-linear by 8 (imbalance flattening).
     let s2 = t[0] / t[1];
-    let s8 = t[0] / t[3];
+    let s8 = t[0] / t[2];
     assert!((1.7..=2.05).contains(&s2), "2-node speedup {s2:.2}");
     assert!((4.0..8.05).contains(&s8), "8-node speedup {s8:.2}");
     assert!(
@@ -131,7 +145,7 @@ fn fig6_scaling_shape() {
     );
     // Imbalance grows with node count (paper §IV.C).
     let im: Vec<f64> = pts.iter().map(|(p, _)| p.imbalance_ratio).collect();
-    assert!(im[3] >= im[1], "imbalance grows with nodes: {im:?}");
+    assert!(im[2] >= im[1], "imbalance grows with nodes: {im:?}");
 }
 
 #[test]
@@ -140,19 +154,28 @@ fn k20x_slower_than_gtx_titan_single_node() {
     // (46 s) on the same workload, attributed to "lower clock rate and
     // bandwidth on K20 GPUs … as well as MPI overheads". The device-only
     // gap (steps, no transfers/MPI) should land a bit below that.
-    let zones = zones();
-    let cfg = PipelineConfig::paper(DeviceSpec::gtx_titan());
-    let result = run_catalog(&cfg, &zones, 30);
+    let result = shared_catalog();
     let f = 14400.0;
     let gtx = result.timings.steps_total_sim_secs_at_scale(f);
-    let k20x = result
-        .timings
-        .with_device(DeviceSpec::tesla_k20x())
-        .steps_total_sim_secs_at_scale(f);
+    let k20x_timings = result.timings.with_device(DeviceSpec::tesla_k20x());
+    let k20x = k20x_timings.steps_total_sim_secs_at_scale(f);
     let gap = k20x / gtx;
     assert!(
         (1.05..=1.45).contains(&gap),
         "K20X/GTX gap {gap:.2} (paper ~1.3 incl. MPI)"
+    );
+    // Stream overlap must pay off on the K20X too (the cluster nodes are
+    // priced with the overlapped figure): below the serial end-to-end,
+    // above the pure compute total.
+    let serial = k20x_timings.end_to_end_sim_secs_at_scale(f);
+    let overlapped = k20x_timings.end_to_end_overlapped_sim_secs_at_scale(f);
+    assert!(
+        overlapped < serial,
+        "K20X overlapped {overlapped:.2}s vs serial {serial:.2}s"
+    );
+    assert!(
+        overlapped >= k20x,
+        "K20X overlapped {overlapped:.2}s cannot undercut compute {k20x:.2}s"
     );
 }
 

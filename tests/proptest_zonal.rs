@@ -90,6 +90,34 @@ proptest! {
     }
 
     #[test]
+    fn overlapped_executor_equals_serial_on_random_workloads(
+        layer in layer_strategy(),
+        raster in raster_strategy(),
+        tile_cells in 3usize..12,
+        strip_rows in 1usize..4,
+        inflight in 2usize..5,
+    ) {
+        let zones = Zones::new(layer);
+        let grid = TileGrid::new(raster.rows(), raster.cols(), tile_cells, *raster.transform());
+        let mut cfg = PipelineConfig::paper(DeviceSpec::gtx_titan()).with_bins(256);
+        cfg.tile_deg = tile_cells as f64 * raster.transform().sx; // match grid
+        cfg.strip_rows = strip_rows;
+        let src = raster.tile_source(&grid);
+        cfg.inflight_strips = 1; // serial reference executor
+        let serial = run_partition(&cfg, &zones, &src);
+        cfg.inflight_strips = inflight; // double-buffered streaming executor
+        let overlapped = run_partition(&cfg, &zones, &src);
+        prop_assert_eq!(&serial.hists, &overlapped.hists);
+        prop_assert_eq!(&serial.counts, &overlapped.counts);
+        // Same strips in the same order, with identical counted work.
+        prop_assert_eq!(&serial.timings.strips, &overlapped.timings.strips);
+        for (a, b) in serial.timings.steps.iter().zip(&overlapped.timings.steps) {
+            prop_assert_eq!(a.cell_work, b.cell_work);
+            prop_assert_eq!(a.fixed_work, b.fixed_work);
+        }
+    }
+
+    #[test]
     fn stats_match_expanded_values(bins in prop::collection::vec(0u64..50, 1..100)) {
         let s = stats_of_histogram(&bins);
         let mut values: Vec<f64> = Vec::new();

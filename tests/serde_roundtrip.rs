@@ -1,0 +1,79 @@
+//! Serde round-trips: the timing, counter, config, and device records
+//! must survive JSON bit-exactly. The cluster master/worker protocol and
+//! the `tables --json` timing dump both rely on this.
+
+use zonal_histo::geo::CountyConfig;
+use zonal_histo::gpusim::DeviceSpec;
+use zonal_histo::raster::srtm::SyntheticSrtm;
+use zonal_histo::raster::{GeoTransform, TileGrid};
+use zonal_histo::zonal::pipeline::{run_partition, Zones};
+use zonal_histo::zonal::{PipelineConfig, ZonalResult};
+
+fn roundtrip<T>(v: &T) -> T
+where
+    T: serde::Serialize + serde::Deserialize + PartialEq + std::fmt::Debug,
+{
+    let json = serde_json::to_string(v).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+/// A small but real pipeline run, so the records carry non-trivial
+/// floats, strip vectors, and enum values rather than defaults.
+fn run_small() -> ZonalResult {
+    let mut ccfg = CountyConfig::small(11);
+    ccfg.nx = 6;
+    ccfg.ny = 4;
+    let zones = Zones::new(ccfg.generate());
+    let gt = GeoTransform::per_degree(ccfg.extent.min_x, ccfg.extent.min_y, 10);
+    let rows = (ccfg.extent.height() * 10.0).round() as usize;
+    let cols = (ccfg.extent.width() * 10.0).round() as usize;
+    let grid = TileGrid::for_degree_tile(rows, cols, 0.8, gt);
+    let src = SyntheticSrtm::new(grid, 11);
+    let cfg = PipelineConfig::test();
+    run_partition(&cfg, &zones, &src)
+}
+
+#[test]
+fn timings_and_counts_roundtrip_bit_exact() {
+    let result = run_small();
+    assert!(
+        !result.timings.strips.is_empty(),
+        "want strip records in the round-trip payload"
+    );
+    let t2 = roundtrip(&result.timings);
+    assert_eq!(result.timings, t2);
+    // Float fields must come back to the identical bits, not merely
+    // approximately equal: the cost model re-prices them downstream.
+    assert_eq!(
+        result.timings.steps[0].wall_secs.to_bits(),
+        t2.steps[0].wall_secs.to_bits()
+    );
+    assert_eq!(result.counts, roundtrip(&result.counts));
+}
+
+#[test]
+fn config_and_device_roundtrip() {
+    for device in [
+        DeviceSpec::quadro_6000(),
+        DeviceSpec::gtx_titan(),
+        DeviceSpec::tesla_k20x(),
+    ] {
+        assert_eq!(device, roundtrip(&device));
+        let cfg = PipelineConfig::paper(device);
+        assert_eq!(cfg, roundtrip(&cfg));
+    }
+    assert_eq!(PipelineConfig::test(), roundtrip(&PipelineConfig::test()));
+}
+
+#[test]
+fn pretty_and_compact_json_parse_identically() {
+    let result = run_small();
+    let compact = serde_json::to_string(&result.timings).expect("compact");
+    let pretty = serde_json::to_string_pretty(&result.timings).expect("pretty");
+    assert_ne!(compact, pretty);
+    let a: zonal_histo::zonal::PipelineTimings =
+        serde_json::from_str(&compact).expect("parse compact");
+    let b: zonal_histo::zonal::PipelineTimings =
+        serde_json::from_str(&pretty).expect("parse pretty");
+    assert_eq!(a, b);
+}
