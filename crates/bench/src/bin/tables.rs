@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! tables <experiment> [--cpd N] [--seed N] [--json FILE]
+//! tables <experiment> [--cpd N] [--seed N] [--json FILE] [--trace FILE]
 //!
 //! experiments:
 //!   table1       SRTM raster catalog & partition schema (Table 1)
@@ -15,6 +15,7 @@
 //!   occupancy    shared-memory staging occupancy analysis (§III.D)
 //!   simplify     polygon simplification accuracy/cost tradeoff
 //!   sanitizer    tracked-buffer overhead of the kernel-sanitizer wiring
+//!   obs-overhead tracing probe cost, disabled and enabled (DESIGN.md §Obs)
 //!   all          everything above
 //! ```
 //!
@@ -23,7 +24,12 @@
 //! Full-scale figures are extrapolations of counted per-cell work; see
 //! EXPERIMENTS.md. `--json FILE` additionally dumps the Table 2 timing
 //! record (steps, strips, serial and overlapped end-to-end figures) as
-//! JSON for downstream tooling.
+//! JSON for downstream tooling. `--trace FILE` records the run under an
+//! observability session and writes a Chrome Trace Event Format document
+//! (open in Perfetto / `chrome://tracing`): wall-clock lanes for every
+//! pipeline thread and cluster rank, plus — when `table2` ran —
+//! simulated-device lanes replaying the cost model's copy/compute
+//! schedule.
 
 use std::time::Instant;
 use zonal_bench::{
@@ -41,6 +47,7 @@ struct Args {
     cpd: Option<u32>,
     seed: u64,
     json: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -49,6 +56,7 @@ fn parse_args() -> Args {
         cpd: None,
         seed: SEED,
         json: None,
+        trace: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
@@ -67,6 +75,7 @@ fn parse_args() -> Args {
                     .expect("--seed needs an integer")
             }
             "--json" => args.json = Some(iter.next().expect("--json needs a file path")),
+            "--trace" => args.trace = Some(iter.next().expect("--trace needs a file path")),
             other if !other.starts_with('-') => args.experiment = other.into(),
             other => panic!("unknown flag {other}"),
         }
@@ -124,7 +133,7 @@ struct Table2Dump {
     counts: zonal_core::PipelineCounts,
 }
 
-fn table2(zones: &Zones, cpd: u32, json: Option<&str>) {
+fn table2(zones: &Zones, cpd: u32, json: Option<&str>) -> zonal_core::PipelineTimings {
     println!("\n== Table 2: per-step runtimes (seconds), Quadro 6000 vs GTX Titan ==");
     println!("(measured at {cpd} cells/degree; device columns are cost-model seconds");
     println!(
@@ -255,12 +264,23 @@ fn table2(zones: &Zones, cpd: u32, json: Option<&str>) {
         result.counts.pip_cells_tested,
         100.0 * result.counts.pip_fraction()
     );
+    // The tile filter's whole value proposition, as the obs counter pair
+    // (`pip_tests_performed` / `pip_tests_avoided`) surfaces it: cells
+    // whose zone membership was decided without a point-in-polygon test.
+    let avoided = result.counts.n_cells - result.counts.pip_cells_tested;
+    println!(
+        "PIP counter pair: {} tests performed / {} avoided ({:.1}% avoided)",
+        result.counts.pip_cells_tested,
+        avoided,
+        100.0 * avoided as f64 / result.counts.n_cells as f64
+    );
     println!(
         "compression: {:.1}% of raw ({} -> {} bytes)",
         100.0 * stats.ratio(),
         stats.raw_bytes,
         stats.encoded_bytes
     );
+    result.timings
 }
 
 fn fig6(zones: &Zones, cpd: u32, seed: u64) {
@@ -628,11 +648,126 @@ fn sanitizer_overhead(zones: &Zones, cpd: u32) {
     );
 }
 
+/// Observability cost check: (a) microbenchmark the disabled probes the
+/// pipeline is permanently instrumented with, (b) run a fixed workload
+/// untraced and traced, asserting the histograms stay bit-identical, and
+/// (c) bound the disabled-path overhead — captured-event count times the
+/// measured per-probe cost — to ≤ 3 % of the untraced wall time.
+///
+/// Runs its own tracing sessions, so `main` skips it under `--trace`.
+fn obs_overhead() {
+    use zonal_core::pipeline::{run_partition, Zones};
+    use zonal_geo::{Polygon, PolygonLayer};
+    use zonal_raster::{GeoTransform, Raster, TileGrid};
+    println!("\n== Observability: probe cost, disabled and enabled ==");
+    println!("(every probe starts with one relaxed atomic load; tracing is off by default)\n");
+
+    // (a) Disabled probes: the permanent price of the instrumentation.
+    const OPS: usize = 4_000_000;
+    const ROUNDS: usize = 5;
+    let probe_counter = zonal_obs::counter("obs_overhead_probe");
+    let mut span_secs = f64::INFINITY;
+    let mut counter_secs = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        for _ in 0..OPS {
+            let _guard = zonal_obs::span("disabled probe");
+        }
+        span_secs = span_secs.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        for i in 0..OPS {
+            probe_counter.add(i as u64);
+        }
+        counter_secs = counter_secs.min(t.elapsed().as_secs_f64());
+    }
+    let ns = |s: f64| s / OPS as f64 * 1e9;
+    println!("{:<38} {:>10}", "disabled probe", "ns/op");
+    hline(50);
+    println!("{:<38} {:>10.2}", "span open+drop", ns(span_secs));
+    println!("{:<38} {:>10.2}", "counter add", ns(counter_secs));
+    assert_eq!(probe_counter.get(), 0, "disabled counter must not count");
+
+    // (b) Fixed workload, untraced vs traced: identical answers required.
+    let zones = Zones::new(PolygonLayer::from_polygons(vec![
+        Polygon::rect(0.0, 0.0, 5.0, 10.0),
+        Polygon::rect(5.0, 0.0, 10.0, 10.0),
+    ]));
+    let gt = GeoTransform::new(0.0, 0.0, 0.05, 0.05);
+    let raster = Raster::from_fn(192, 192, gt, |r, c| ((r * 7 + c * 13) % 64) as u16);
+    let grid = TileGrid::new(192, 192, 16, gt); // 16-cell tiles = test()'s 0.8°
+    let src = raster.tile_source(&grid);
+    let mut cfg = zonal_core::PipelineConfig::test().with_bins(64);
+    cfg.strip_rows = 4;
+
+    let mut untraced_secs = f64::INFINITY;
+    let mut base = None;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        let r = run_partition(&cfg, &zones, &src);
+        untraced_secs = untraced_secs.min(t.elapsed().as_secs_f64());
+        base = Some(r);
+    }
+    let base = base.expect("untraced rounds ran");
+
+    let session = zonal_obs::start(zonal_obs::DEFAULT_RING_CAPACITY);
+    let mut traced_secs = f64::INFINITY;
+    let mut traced = None;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        let r = run_partition(&cfg, &zones, &src);
+        traced_secs = traced_secs.min(t.elapsed().as_secs_f64());
+        traced = Some(r);
+    }
+    let trace = session.finish();
+    let traced = traced.expect("traced rounds ran");
+    assert_eq!(traced.hists, base.hists, "tracing must not perturb results");
+    assert_eq!(traced.counts, base.counts);
+    println!(
+        "\nworkload: 192x192 cells, {} strips; results bit-identical under tracing",
+        base.timings.strips.len()
+    );
+    println!("{:<38} {:>12}", "end-to-end", "wall secs");
+    hline(52);
+    println!("{:<38} {:>12.4}", "tracing disabled", untraced_secs);
+    println!(
+        "{:<38} {:>12.4} ({:+.1}%)",
+        "tracing enabled",
+        traced_secs,
+        100.0 * (traced_secs - untraced_secs) / untraced_secs
+    );
+
+    // (c) Disabled-path bound: the probes this workload touches, priced at
+    // the measured disabled cost, as a fraction of the untraced runtime.
+    let probes = trace.events.len() as f64;
+    let disabled_overhead = probes * ns(span_secs) * 1e-9 / untraced_secs;
+    println!(
+        "\ndisabled-path bound: {} probe sites x {:.2} ns = {:.4}% of the untraced run",
+        trace.events.len(),
+        ns(span_secs),
+        100.0 * disabled_overhead
+    );
+    assert!(
+        disabled_overhead <= 0.03,
+        "disabled probes must cost <= 3% ({:.4}%)",
+        100.0 * disabled_overhead
+    );
+    println!("within the <= 3% budget");
+}
+
 fn main() {
     let args = parse_args();
     let exp = args.experiment.as_str();
     let run_all = exp == "all";
     println!("zonal-histo experiment harness (seed {})", args.seed);
+
+    // `--trace` wraps the whole run in one observability session.
+    let trace_session = args
+        .trace
+        .as_ref()
+        .map(|_| zonal_obs::start(zonal_obs::DEFAULT_RING_CAPACITY));
+    if trace_session.is_some() {
+        zonal_obs::set_lane_name("main");
+    }
 
     if run_all || exp == "table1" {
         table1();
@@ -664,12 +799,13 @@ fn main() {
     } else {
         None
     };
+    let mut table2_timings = None;
     if run_all || exp == "table2" {
-        table2(
+        table2_timings = Some(table2(
             zones.as_ref().expect("zones"),
             args.cpd.unwrap_or(120),
             args.json.as_deref(),
-        );
+        ));
     }
     if run_all || exp == "fig6" {
         fig6(
@@ -722,6 +858,13 @@ fn main() {
     if run_all || exp == "sanitizer" {
         sanitizer_overhead(zones.as_ref().expect("zones"), args.cpd.unwrap_or(30));
     }
+    if run_all || exp == "obs-overhead" {
+        if trace_session.is_some() {
+            println!("\n(obs-overhead skipped under --trace: it runs its own tracing sessions)");
+        } else {
+            obs_overhead();
+        }
+    }
     if !run_all
         && !matches!(
             exp,
@@ -736,9 +879,26 @@ fn main() {
                 | "occupancy"
                 | "simplify"
                 | "sanitizer"
+                | "obs-overhead"
         )
     {
         eprintln!("unknown experiment '{exp}'; see --help text in the source header");
         std::process::exit(2);
+    }
+
+    if let (Some(path), Some(session)) = (args.trace.as_deref(), trace_session) {
+        let mut trace = session.finish();
+        if let Some(timings) = &table2_timings {
+            // Simulated-device lanes replaying the cost model's schedule
+            // for the last Table 2 partition, at its extrapolation factor.
+            trace.push_sim_spans(timings.sim_device_spans(cell_factor(args.cpd.unwrap_or(120))));
+        }
+        let n_events = trace.events.len();
+        let dropped = trace.dropped;
+        std::fs::write(path, trace.to_chrome_json()).expect("write --trace file");
+        println!(
+            "\n(chrome trace written to {path}: {n_events} events, {dropped} dropped; \
+             open in Perfetto or chrome://tracing)"
+        );
     }
 }

@@ -28,7 +28,7 @@ use crate::comm::{Cluster, NetworkModel};
 use crate::error::{ClusterError, ClusterResult};
 use crate::fault::{checksum_u64s, FaultInjector, MsgAction};
 use crate::imbalance::ImbalanceReport;
-use crate::node::NodeReport;
+use crate::node::{name_rank_lane, NodeReport};
 use crate::run::{ClusterConfig, ClusterRun};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::VecDeque;
@@ -150,6 +150,10 @@ pub fn run_dynamic(cfg: &ClusterConfig, zones: &Zones) -> ClusterResult<ClusterR
             status[rank] = WStatus::Dead;
             let orphans = std::mem::take(&mut assigned[rank]);
             let completed = orphans.len();
+            zonal_obs::instant(
+                "worker declared dead",
+                &[("rank", rank as u64), ("requeued", completed as u64)],
+            );
             queue.extend(orphans);
             dead.push(rank);
             if !cfg.recovery.recovers() {
@@ -204,6 +208,7 @@ pub fn run_dynamic(cfg: &ClusterConfig, zones: &Zones) -> ClusterResult<ClusterR
                     }
                     let got = checksum_u64s(h.flat());
                     if got != checksum {
+                        zonal_obs::instant("corrupt payload detected", &[("from", rank as u64)]);
                         if !cfg.recovery.recovers() {
                             return Err(ClusterError::CorruptPayload {
                                 from: rank,
@@ -245,6 +250,7 @@ pub fn run_dynamic(cfg: &ClusterConfig, zones: &Zones) -> ClusterResult<ClusterR
                     // worker. A failed control send proves the thread
                     // exited without reporting — a crash.
                     probe_rounds += 1;
+                    zonal_obs::instant("probe round", &[("round", probe_rounds as u64)]);
                     for rank in 0..cfg.n_nodes {
                         if status[rank] != WStatus::Active {
                             continue;
@@ -279,6 +285,11 @@ pub fn run_dynamic(cfg: &ClusterConfig, zones: &Zones) -> ClusterResult<ClusterR
         Ok(())
     });
     master_result?;
+    // Master leftovers ran on this thread (renaming its lane); claim the
+    // final name.
+    if zonal_obs::enabled() {
+        zonal_obs::set_lane_name("master");
+    }
     dead.sort_unstable();
     for &rank in &dead {
         reports[rank] = Some(NodeReport::failed(rank));
@@ -335,6 +346,7 @@ fn worker_body(
     injector: &FaultInjector,
 ) {
     let t0 = std::time::Instant::now();
+    name_rank_lane(widx);
     let crash_at = injector.take_crash_point(widx);
     let mut local = ZoneHistograms::new(zones.len(), pipeline.n_bins);
     let mut costs: Vec<(usize, f64)> = Vec::new();
@@ -343,7 +355,12 @@ fn worker_body(
     loop {
         if let Some(k) = crash_at {
             if costs.len() >= k {
-                return; // crash fault: die silently, results lost
+                // Crash fault: die silently, results lost.
+                zonal_obs::instant(
+                    "crash",
+                    &[("rank", widx as u64), ("completed_partitions", k as u64)],
+                );
+                return;
             }
         }
         if comm.try_send(0, ToMaster::Request { rank: widx }).is_err() {
@@ -362,7 +379,11 @@ fn worker_body(
                 let part = parts[pidx];
                 let grid = part.grid(pipeline.tile_deg);
                 let src = SyntheticSrtm::new(grid, seed);
+                let mut span = zonal_obs::span("partition");
+                span.arg("partition", pidx as u64);
                 let r = run_partition(&pipeline, zones, &src);
+                drop(span);
+                name_rank_lane(widx); // the pipeline renamed this lane
                 costs.push((
                     pidx,
                     r.timings
@@ -376,9 +397,16 @@ fn worker_body(
             ToWorker::Ack | ToWorker::Probe => unreachable!("filtered above"),
         }
     }
-    if crash_at.is_some() {
+    if let Some(k) = crash_at {
         // Released before reaching the planned crash point: the crash
         // still fires before the report, exactly as in the static runner.
+        zonal_obs::instant(
+            "crash",
+            &[
+                ("rank", widx as u64),
+                ("completed_partitions", costs.len().min(k) as u64),
+            ],
+        );
         return;
     }
     let checksum = checksum_u64s(local.flat());
@@ -399,11 +427,19 @@ fn worker_body(
         MsgAction::Deliver => {
             let _ = comm.try_send(0, mk(local.clone(), checksum, 0.0));
         }
-        MsgAction::Drop => {} // first transmission lost in the interconnect
+        MsgAction::Drop => {
+            // First transmission lost in the interconnect.
+            zonal_obs::instant("message dropped", &[("rank", widx as u64)]);
+        }
         MsgAction::Delay(secs) => {
+            zonal_obs::instant(
+                "message delayed",
+                &[("rank", widx as u64), ("delay_ms", (secs * 1e3) as u64)],
+            );
             let _ = comm.try_send(0, mk(local.clone(), checksum, secs));
         }
         MsgAction::Corrupt => {
+            zonal_obs::instant("message corrupted", &[("rank", widx as u64)]);
             let mut flat = local.flat().to_vec();
             if let Some(w) = flat.first_mut() {
                 *w ^= 0x1;

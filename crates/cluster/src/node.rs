@@ -41,6 +41,16 @@ pub struct NodeReport {
     pub failed: bool,
 }
 
+/// Name the calling thread's trace lane after a cluster rank. The
+/// pipeline renames its compute thread while a share runs, so callers
+/// re-claim the lane after [`run_node`] returns (last name wins in the
+/// exported trace). Free when tracing is disabled.
+pub(crate) fn name_rank_lane(rank: usize) {
+    if zonal_obs::enabled() {
+        zonal_obs::set_lane_name(format!("rank {rank}"));
+    }
+}
+
 impl NodeReport {
     /// Placeholder report for a rank that died and whose work was
     /// reassigned: it contributed nothing to the combined result.
@@ -62,6 +72,9 @@ impl NodeReport {
 /// return an empty result (possible when nodes > partitions).
 pub fn run_node(input: &NodeInput, zones: &Zones, cell_factor: f64) -> (ZonalResult, NodeReport) {
     let t = std::time::Instant::now();
+    let mut span = zonal_obs::span("node share");
+    span.arg("rank", input.rank as u64)
+        .arg("partitions", input.partitions.len() as u64);
     let sources: Vec<SyntheticSrtm> = input
         .partitions
         .iter()
@@ -76,6 +89,7 @@ pub fn run_node(input: &NodeInput, zones: &Zones, cell_factor: f64) -> (ZonalRes
     } else {
         run_partitions(&input.pipeline, zones, &sources)
     };
+    span.arg("cells", result.counts.n_cells);
     let report = NodeReport {
         rank: input.rank,
         n_partitions: input.partitions.len(),

@@ -22,7 +22,7 @@ use crate::comm::{Cluster, NetworkModel};
 use crate::error::{ClusterError, ClusterResult, RecoveryPolicy};
 use crate::fault::{checksum_u64s, FaultInjector, FaultPlan, MsgAction};
 use crate::imbalance::ImbalanceReport;
-use crate::node::{run_node, NodeInput, NodeReport};
+use crate::node::{name_rank_lane, run_node, NodeInput, NodeReport};
 use crate::schedule::reassignment_makespan;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use serde::Serialize;
@@ -298,6 +298,12 @@ pub fn run_cluster(cfg: &ClusterConfig, zones: &Zones) -> ClusterResult<ClusterR
         )?;
     }
 
+    // The master's own share and any recovery re-execution ran on this
+    // thread (renaming its lane along the way); claim the final name.
+    if zonal_obs::enabled() {
+        zonal_obs::set_lane_name("rank 0 (master)");
+    }
+
     let nodes: Vec<NodeReport> = reports
         .into_iter()
         .map(|r| r.expect("all ranks reported or were recovered"))
@@ -331,6 +337,7 @@ fn worker_body(
     injector: &FaultInjector,
 ) {
     let rank = input.rank;
+    name_rank_lane(rank);
     if let Some(k) = injector.take_crash_point(rank) {
         // Crash fault: do (part of) the work, then die silently — the
         // endpoints drop and the master's probe finds the corpse.
@@ -339,9 +346,18 @@ fn worker_body(
             .partitions
             .truncate(k.min(truncated.partitions.len()));
         let _ = run_node(&truncated, zones, cell_factor);
+        name_rank_lane(rank);
+        zonal_obs::instant(
+            "crash",
+            &[
+                ("rank", rank as u64),
+                ("completed_partitions", truncated.partitions.len() as u64),
+            ],
+        );
         return;
     }
     let (result, report) = run_node(&input, zones, cell_factor);
+    name_rank_lane(rank);
     let clean = WorkerMsg::clean(report, result.hists);
     // Sends ignore errors: a dropped master endpoint means the run was
     // aborted (FailFast) and this worker should just exit.
@@ -349,13 +365,21 @@ fn worker_body(
         MsgAction::Deliver => {
             let _ = comm.try_send(0, clean.duplicate());
         }
-        MsgAction::Drop => {} // first transmission lost in the interconnect
+        MsgAction::Drop => {
+            // First transmission lost in the interconnect.
+            zonal_obs::instant("message dropped", &[("rank", rank as u64)]);
+        }
         MsgAction::Delay(secs) => {
+            zonal_obs::instant(
+                "message delayed",
+                &[("rank", rank as u64), ("delay_ms", (secs * 1e3) as u64)],
+            );
             let mut late = clean.duplicate();
             late.delay_secs = secs;
             let _ = comm.try_send(0, late);
         }
         MsgAction::Corrupt => {
+            zonal_obs::instant("message corrupted", &[("rank", rank as u64)]);
             // Payload mangled in flight; the checksum still describes the
             // original, so the master will catch the mismatch.
             let mut flat = clean.hists.flat().to_vec();
@@ -422,6 +446,7 @@ fn master_gather(
                 }
                 let got = checksum_u64s(msg.hists.flat());
                 if got != msg.checksum {
+                    zonal_obs::instant("corrupt payload detected", &[("from", from as u64)]);
                     if !cfg.recovery.recovers() {
                         return Err(ClusterError::CorruptPayload {
                             from,
@@ -458,6 +483,7 @@ fn master_gather(
                 // live worker to retransmit; a failed one proves the
                 // worker exited without reporting — a crash.
                 state.probe_rounds += 1;
+                zonal_obs::instant("probe round", &[("round", state.probe_rounds as u64)]);
                 for rank in 1..cfg.n_nodes {
                     if !pending[rank] {
                         continue;
@@ -471,6 +497,7 @@ fn master_gather(
                     } else {
                         pending[rank] = false;
                         state.dead.push(rank);
+                        zonal_obs::instant("worker declared dead", &[("rank", rank as u64)]);
                         if !cfg.recovery.recovers() {
                             return Err(ClusterError::NodeCrashed {
                                 rank,
@@ -517,6 +544,7 @@ fn recover_dead_ranks(
                 if max_attempts == 0 {
                     return Err(ClusterError::RecoveryExhausted { rank, attempts: 0 });
                 }
+                zonal_obs::instant("rank retried", &[("rank", rank as u64)]);
                 let (res, mut report) = run_node(&inputs[rank], zones, cell_factor);
                 report.failed = true; // the rank did fail before the retry
                 recovery_secs += backoff_secs + report.sim_secs;
@@ -533,6 +561,13 @@ fn recover_dead_ranks(
             debug_assert!(n_survivors >= 1, "plan validation keeps a survivor");
             let mut orphan_costs = Vec::new();
             for &rank in dead {
+                zonal_obs::instant(
+                    "partitions reassigned",
+                    &[
+                        ("rank", rank as u64),
+                        ("orphans", inputs[rank].partitions.len() as u64),
+                    ],
+                );
                 for part in &inputs[rank].partitions {
                     let one = NodeInput {
                         rank,

@@ -1,0 +1,89 @@
+//! Cluster-level observability test: one trace lane per rank, fault
+//! injections visible as instant events, and tracing leaves the combined
+//! histograms bit-identical.
+//!
+//! Lives in its own integration-test binary (one `#[test]`) because the
+//! tracing session is process-global: library unit tests running
+//! pipelines concurrently would bleed events into the session.
+
+use zonal_cluster::error::RecoveryPolicy;
+use zonal_cluster::fault::FaultPlan;
+use zonal_cluster::run::{run_cluster, ClusterConfig};
+use zonal_core::pipeline::Zones;
+use zonal_geo::CountyConfig;
+
+fn tiny_zones() -> Zones {
+    let mut c = CountyConfig::us_like(7);
+    c.nx = 8;
+    c.ny = 5;
+    c.edge_subdiv = 2;
+    Zones::new(c.generate())
+}
+
+#[test]
+fn cluster_trace_has_rank_lanes_and_fault_events() {
+    let zones = tiny_zones();
+    let mut cfg = ClusterConfig::titan(4, 4, 11);
+    cfg.pipeline.tile_deg = 1.0;
+    cfg.pipeline.n_bins = 64;
+
+    let clean = run_cluster(&cfg, &zones).unwrap();
+
+    // A crash on rank 2 plus a dropped result from rank 1, recovered by
+    // reassignment — every fault class the trace should make visible.
+    cfg.faults = FaultPlan::none().with_crash(2, 1).with_drop(1);
+    cfg.recovery = RecoveryPolicy::Reassign;
+    cfg.detect_timeout_secs = 0.3;
+
+    let session = zonal_obs::start(1 << 18);
+    let run = run_cluster(&cfg, &zones).unwrap();
+    let trace = session.finish();
+
+    // Tracing must not perturb the result.
+    assert_eq!(
+        run.hists, clean.hists,
+        "traced faulty run stays bit-identical"
+    );
+    assert_eq!(run.failed_ranks, vec![2]);
+
+    // One lane per rank, named.
+    let lane = |name: &str| trace.lanes.iter().any(|(_, n)| n == name);
+    assert!(lane("rank 0 (master)"), "lanes: {:?}", trace.lanes);
+    assert!(lane("rank 1"), "lanes: {:?}", trace.lanes);
+    assert!(lane("rank 3"), "lanes: {:?}", trace.lanes);
+
+    // Fault injections and master-side reactions land as instant events.
+    let instants = |name: &str| {
+        trace
+            .events
+            .iter()
+            .filter(|e| e.kind == zonal_obs::EventKind::Instant && e.name == name)
+            .count()
+    };
+    assert_eq!(instants("crash"), 1);
+    assert_eq!(instants("message dropped"), 1);
+    assert_eq!(instants("worker declared dead"), 1);
+    assert_eq!(instants("partitions reassigned"), 1);
+    assert!(instants("probe round") >= 1, "detection ran at least once");
+
+    // The crash event carries its rank.
+    let crash = trace
+        .events
+        .iter()
+        .find(|e| e.name == "crash")
+        .expect("crash event");
+    assert!(crash.args().contains(&("rank", 2)));
+
+    // Node shares are spans; every live rank (and the retried work) shows.
+    let shares = trace
+        .events
+        .iter()
+        .filter(|e| e.name == "node share")
+        .count();
+    assert!(shares >= 4, "master + 3 workers at minimum, got {shares}");
+
+    // The exported document validates as a Chrome trace.
+    let summary = zonal_obs::validate_chrome_json(&trace.to_chrome_json()).expect("valid trace");
+    assert!(summary.n_instants >= 5);
+    assert!(summary.lane_names.iter().any(|n| n == "rank 1"));
+}

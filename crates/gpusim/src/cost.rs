@@ -240,22 +240,55 @@ impl CostModel {
     /// schedule is admissible) — the gap to the serial sum is the hidden
     /// transfer the paper attributes to streams.
     pub fn overlapped_pipeline_secs(&self, strips: &[StripCost]) -> f64 {
+        self.overlapped_pipeline_schedule(strips)
+            .last()
+            .map_or(0.0, |s| s.comp_done)
+    }
+
+    /// The full schedule behind [`CostModel::overlapped_pipeline_secs`]:
+    /// per-strip upload and compute intervals under the same recurrence.
+    /// The makespan `schedule.last().comp_done` is bit-identical to
+    /// `overlapped_pipeline_secs` (which delegates here), so exporting
+    /// the schedule as simulated-device trace lanes makes the overlap
+    /// recurrence visually auditable without perturbing any figure.
+    pub fn overlapped_pipeline_schedule(&self, strips: &[StripCost]) -> Vec<StripSchedule> {
         let depth = 1 + self.device.copy_engines as usize;
-        let mut xfer_done = vec![0.0f64; strips.len()];
-        let mut comp_done = vec![0.0f64; strips.len()];
+        let mut sched: Vec<StripSchedule> = Vec::with_capacity(strips.len());
         for (i, s) in strips.iter().enumerate() {
-            let engine_free = if i > 0 { xfer_done[i - 1] } else { 0.0 };
+            let engine_free = if i > 0 { sched[i - 1].xfer_done } else { 0.0 };
             let slot_free = if i >= depth {
-                comp_done[i - depth]
+                sched[i - depth].comp_done
             } else {
                 0.0
             };
-            xfer_done[i] = engine_free.max(slot_free) + s.transfer_secs;
-            let prev_comp = if i > 0 { comp_done[i - 1] } else { 0.0 };
-            comp_done[i] = prev_comp.max(xfer_done[i]) + s.compute_secs;
+            let xfer_start = engine_free.max(slot_free);
+            let xfer_done = xfer_start + s.transfer_secs;
+            let prev_comp = if i > 0 { sched[i - 1].comp_done } else { 0.0 };
+            let comp_start = prev_comp.max(xfer_done);
+            sched.push(StripSchedule {
+                xfer_start,
+                xfer_done,
+                comp_start,
+                comp_done: comp_start + s.compute_secs,
+            });
         }
-        comp_done.last().copied().unwrap_or(0.0)
+        sched
     }
+}
+
+/// One strip's simulated timeline within an overlapped pipeline, as
+/// produced by [`CostModel::overlapped_pipeline_schedule`]. All times
+/// are simulated seconds from the pipeline start.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StripSchedule {
+    /// Copy engine begins the strip's H2D upload.
+    pub xfer_start: f64,
+    /// Upload complete; the strip may start computing.
+    pub xfer_done: f64,
+    /// Kernels for the strip begin (≥ `xfer_done`).
+    pub comp_start: f64,
+    /// Kernels complete; the strip's buffers may be recycled.
+    pub comp_done: f64,
 }
 
 /// Per-strip simulated costs feeding [`CostModel::overlapped_pipeline_secs`].
@@ -493,6 +526,45 @@ mod tests {
                 "{}: pipeline should hide some transfer",
                 m.device.name
             );
+        }
+    }
+
+    #[test]
+    fn schedule_matches_makespan_and_is_well_formed() {
+        let strips: Vec<StripCost> = (0..16)
+            .map(|i| StripCost {
+                transfer_secs: 0.5 + 0.1 * (i % 3) as f64,
+                compute_secs: 0.4 + 0.2 * (i % 5) as f64,
+            })
+            .collect();
+        for m in [gtx(), quadro()] {
+            let sched = m.overlapped_pipeline_schedule(&strips);
+            assert_eq!(sched.len(), strips.len());
+            // Exactly (bitwise) the published makespan — the exporter
+            // replays this schedule, so any drift would desynchronize
+            // the trace from the reported figures.
+            assert_eq!(
+                sched.last().unwrap().comp_done,
+                m.overlapped_pipeline_secs(&strips),
+                "{}",
+                m.device.name
+            );
+            let depth = 1 + m.device.copy_engines as usize;
+            for (i, (s, c)) in sched.iter().zip(&strips).enumerate() {
+                assert_eq!(s.xfer_done, s.xfer_start + c.transfer_secs);
+                assert_eq!(s.comp_done, s.comp_start + c.compute_secs);
+                assert!(s.comp_start >= s.xfer_done, "compute needs its upload");
+                if i > 0 {
+                    assert!(s.xfer_start >= sched[i - 1].xfer_done, "one copy engine");
+                    assert!(s.comp_start >= sched[i - 1].comp_done, "one compute queue");
+                }
+                if i >= depth {
+                    assert!(
+                        s.xfer_start >= sched[i - depth].comp_done,
+                        "buffer recycling bounds in-flight strips"
+                    );
+                }
+            }
         }
     }
 

@@ -17,6 +17,7 @@
 //! costs one thread-local check per access (nothing at all without the
 //! `sanitize` feature).
 
+use crate::cost::{KernelWork, WorkCounter};
 use rayon::prelude::*;
 
 /// Launch `n_blocks` independent blocks; `kernel(block_idx)` runs once per
@@ -38,6 +39,71 @@ where
     F: Fn(usize) -> T + Sync,
 {
     (0..n_blocks).into_par_iter().map(|b| kernel(b)).collect()
+}
+
+/// Attach a [`KernelWork`] delta (`after - before`) to an open span —
+/// blocks, flops, coalesced/scattered bytes, atomics, sub-launches; six
+/// args exactly fill [`zonal_obs::MAX_ARGS`]. Used by the traced launch
+/// variants below and by instrumented kernels whose work accounting
+/// happens outside the launch itself (e.g. the pipeline's step kernels).
+pub fn attach_work_args(
+    span: &mut zonal_obs::SpanGuard,
+    n_blocks: usize,
+    before: &KernelWork,
+    after: &KernelWork,
+) {
+    span.arg("blocks", n_blocks as u64);
+    span.arg("flops", after.flops.saturating_sub(before.flops));
+    span.arg(
+        "coalesced_bytes",
+        after.coalesced_bytes.saturating_sub(before.coalesced_bytes),
+    );
+    span.arg(
+        "scattered_bytes",
+        after.scattered_bytes.saturating_sub(before.scattered_bytes),
+    );
+    span.arg("atomics", after.atomics.saturating_sub(before.atomics));
+    span.arg("launches", after.launches.saturating_sub(before.launches));
+}
+
+/// [`launch`] wrapped in a tracing span carrying the [`WorkCounter`]
+/// delta the launch produced (flops, coalesced/scattered bytes, atomics,
+/// sub-launches). With tracing disabled this is exactly [`launch`] plus
+/// one relaxed atomic load; `counter` is only snapshotted when enabled,
+/// and the kernel itself is never perturbed either way.
+pub fn launch_traced<F>(name: &'static str, n_blocks: usize, counter: &WorkCounter, kernel: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if !zonal_obs::enabled() {
+        launch(n_blocks, kernel);
+        return;
+    }
+    let before = counter.snapshot();
+    let mut span = zonal_obs::span(name);
+    launch(n_blocks, kernel);
+    attach_work_args(&mut span, n_blocks, &before, &counter.snapshot());
+}
+
+/// [`launch_map`] wrapped in a tracing span; see [`launch_traced`].
+pub fn launch_map_traced<T, F>(
+    name: &'static str,
+    n_blocks: usize,
+    counter: &WorkCounter,
+    kernel: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if !zonal_obs::enabled() {
+        return launch_map(n_blocks, kernel);
+    }
+    let before = counter.snapshot();
+    let mut span = zonal_obs::span(name);
+    let out = launch_map(n_blocks, kernel);
+    attach_work_args(&mut span, n_blocks, &before, &counter.snapshot());
+    out
 }
 
 /// A 2-D grid shape, mirroring CUDA's `gridDim` for kernels that the paper
@@ -111,6 +177,38 @@ mod tests {
         launch(0, |_| panic!("no blocks should run"));
         let out: Vec<u32> = launch_map(0, |_| 1);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn traced_launch_records_work_delta() {
+        let counter = WorkCounter::new();
+        counter.add_flops(1000); // pre-existing work must not leak into the span
+        let session = zonal_obs::start(256);
+        launch_traced("k", 4, &counter, |_b| {
+            counter.add_flops(10);
+            counter.add_atomics(2);
+        });
+        let out = launch_map_traced("km", 3, &counter, |b| b as u64);
+        assert_eq!(out, vec![0, 1, 2]);
+        let trace = session.finish();
+
+        let ev = trace.events.iter().find(|e| e.name == "k").unwrap();
+        let get = |k: &str| ev.args().iter().find(|(n, _)| *n == k).unwrap().1;
+        assert_eq!(get("blocks"), 4);
+        assert_eq!(get("flops"), 40);
+        assert_eq!(get("atomics"), 8);
+        assert!(trace.events.iter().any(|e| e.name == "km"));
+    }
+
+    #[test]
+    fn traced_launch_untraced_is_plain_launch() {
+        // No session: still runs every block, records nothing.
+        let counter = WorkCounter::new();
+        let hits = AtomicUsize::new(0);
+        launch_traced("k", 100, &counter, |_b| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod sanitizer;
 pub mod tracked;
 
 pub use atomic::{AtomicBufU32, AtomicBufU64};
-pub use cost::{CostModel, KernelClass, KernelWork, StripCost, WorkCounter};
+pub use cost::{CostModel, KernelClass, KernelWork, StripCost, StripSchedule, WorkCounter};
 pub use device::{Arch, DeviceSpec};
 pub use occupancy::{occupancy, BlockResources, Occupancy, SmLimits, WARP_SIZE};
 #[cfg(feature = "sanitize")]

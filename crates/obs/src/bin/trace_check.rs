@@ -1,0 +1,83 @@
+//! Validate a Chrome Trace Event Format JSON file produced by the
+//! workspace's observability layer. Used by CI after generating a trace
+//! from `examples/quickstart.rs` / `tables --trace`.
+//!
+//! Usage:
+//!   trace-check FILE [--expect-sim] [--expect-lane NAME]...
+//!
+//! Exits 0 and prints a one-line summary when the file is structurally
+//! valid (parses, events well-typed, same-lane spans properly nested)
+//! and every expectation holds; exits 1 with a diagnostic otherwise.
+
+use zonal_obs::chrome::validate_chrome_json;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace-check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut file: Option<String> = None;
+    let mut expect_sim = false;
+    let mut expect_lanes: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--expect-sim" => expect_sim = true,
+            "--expect-lane" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(name) => expect_lanes.push(name.clone()),
+                    None => fail("--expect-lane needs a lane name"),
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: trace-check FILE [--expect-sim] [--expect-lane NAME]...");
+                return;
+            }
+            arg if file.is_none() && !arg.starts_with('-') => file = Some(arg.to_string()),
+            arg => fail(&format!("unexpected argument {arg:?}")),
+        }
+        i += 1;
+    }
+
+    let Some(file) = file else {
+        fail("usage: trace-check FILE [--expect-sim] [--expect-lane NAME]...");
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {file}: {e}")),
+    };
+    let summary = match validate_chrome_json(&text) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("{file}: {e}")),
+    };
+
+    if expect_sim && !summary.has_sim_lanes {
+        fail(&format!("{file}: no simulated-device (pid 2) spans found"));
+    }
+    for lane in &expect_lanes {
+        if !summary.lane_names.iter().any(|n| n == lane) {
+            fail(&format!(
+                "{file}: expected lane {lane:?} absent (have: {:?})",
+                summary.lane_names
+            ));
+        }
+    }
+
+    println!(
+        "{file}: ok — {} events ({} spans, {} instants, {} samples), lanes {:?}{}",
+        summary.n_events,
+        summary.n_spans,
+        summary.n_instants,
+        summary.n_samples,
+        summary.lane_names,
+        if summary.has_sim_lanes {
+            ", sim-device lanes present"
+        } else {
+            ""
+        }
+    );
+}

@@ -1,0 +1,199 @@
+//! Typed metrics: counters, gauges, and histograms.
+//!
+//! Handles are `&'static` and interned by name, so a call site resolves
+//! its metric once (one registry lock + one leaked allocation on first
+//! use) and then updates it with plain relaxed atomics. Updates are
+//! gated on [`crate::enabled`]: with tracing disabled every `add` /
+//! `record` is a single atomic load and branch, and a session's
+//! [`snapshot_and_reset`] therefore observes exactly the activity of
+//! that session.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Monotonic event count (e.g. PIP tests performed / avoided).
+pub struct Counter {
+    pub name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-value series (e.g. bounded-channel queue depth). Each `record`
+/// also emits a [`crate::event::EventKind::Sample`] event, so the series
+/// is visible over time in the trace, not just as a final value.
+pub struct Gauge {
+    pub name: &'static str,
+    last: AtomicU64,
+}
+
+impl Gauge {
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if crate::enabled() {
+            self.last.store(value, Ordering::Relaxed);
+            crate::sample(self.name, value);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.last.load(Ordering::Relaxed)
+    }
+}
+
+/// Log2-bucketed value distribution (e.g. per-strip decode microseconds).
+pub struct Histogram {
+    pub name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    /// Bucket `b` counts values with `bit_length(v) == b` (0 for v = 0).
+    buckets: [AtomicU64; 65],
+}
+
+impl Histogram {
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        let bucket = (u64::BITS - value.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time value of one metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(u64),
+    Histogram { count: u64, sum: u64, max: u64 },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSnapshot {
+    pub name: &'static str,
+    pub value: MetricValue,
+}
+
+enum Entry {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+static REGISTRY: Mutex<Vec<Entry>> = Mutex::new(Vec::new());
+
+fn registry() -> std::sync::MutexGuard<'static, Vec<Entry>> {
+    REGISTRY.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Resolve (or create) the counter named `name`. Cache the returned
+/// handle at the call site — resolution takes the registry lock.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = registry();
+    for e in reg.iter() {
+        if let Entry::Counter(c) = e {
+            if c.name == name {
+                return c;
+            }
+        }
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter {
+        name,
+        value: AtomicU64::new(0),
+    }));
+    reg.push(Entry::Counter(c));
+    c
+}
+
+/// Resolve (or create) the gauge named `name`.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = registry();
+    for e in reg.iter() {
+        if let Entry::Gauge(g) = e {
+            if g.name == name {
+                return g;
+            }
+        }
+    }
+    let g: &'static Gauge = Box::leak(Box::new(Gauge {
+        name,
+        last: AtomicU64::new(0),
+    }));
+    reg.push(Entry::Gauge(g));
+    g
+}
+
+/// Resolve (or create) the histogram named `name`.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = registry();
+    for e in reg.iter() {
+        if let Entry::Histogram(h) = e {
+            if h.name == name {
+                return h;
+            }
+        }
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram {
+        name,
+        count: AtomicU64::new(0),
+        sum: AtomicU64::new(0),
+        max: AtomicU64::new(0),
+        buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+    }));
+    reg.push(Entry::Histogram(h));
+    h
+}
+
+/// Snapshot every registered metric and zero it for the next session.
+/// Called by [`crate::TraceSession::finish`].
+pub fn snapshot_and_reset() -> Vec<MetricSnapshot> {
+    let reg = registry();
+    let mut out = Vec::with_capacity(reg.len());
+    for e in reg.iter() {
+        match e {
+            Entry::Counter(c) => out.push(MetricSnapshot {
+                name: c.name,
+                value: MetricValue::Counter(c.value.swap(0, Ordering::Relaxed)),
+            }),
+            Entry::Gauge(g) => out.push(MetricSnapshot {
+                name: g.name,
+                value: MetricValue::Gauge(g.last.swap(0, Ordering::Relaxed)),
+            }),
+            Entry::Histogram(h) => {
+                let snap = MetricValue::Histogram {
+                    count: h.count.swap(0, Ordering::Relaxed),
+                    sum: h.sum.swap(0, Ordering::Relaxed),
+                    max: h.max.swap(0, Ordering::Relaxed),
+                };
+                for b in &h.buckets {
+                    b.store(0, Ordering::Relaxed);
+                }
+                out.push(MetricSnapshot {
+                    name: h.name,
+                    value: snap,
+                });
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,162 @@
+//! Lock-free bounded event ring.
+//!
+//! Writers claim a slot with one `fetch_add` and publish it with one
+//! release store; there are no locks and no allocation on the write
+//! path. The ring *saturates* rather than wraps: once `capacity` events
+//! have been claimed, further pushes are counted as dropped instead of
+//! overwriting earlier history — a trace with a truncated tail plus an
+//! honest `dropped` count is more useful than one with a silently
+//! missing middle. Draining happens on the cold path (session finish)
+//! after writers have quiesced.
+
+use crate::event::Event;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+struct Slot {
+    /// Release-published after the event payload is fully written.
+    committed: AtomicBool,
+    event: UnsafeCell<MaybeUninit<Event>>,
+}
+
+// Safety: a slot is written by exactly one claimant (distinct `fetch_add`
+// indices below capacity never alias) and read only after its `committed`
+// flag is acquired.
+unsafe impl Sync for Slot {}
+
+/// Bounded multi-producer event buffer. See the module docs for the
+/// saturation (rather than wrap-around) policy.
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    next: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+impl EventRing {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event ring needs at least one slot");
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                committed: AtomicBool::new(false),
+                event: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        EventRing {
+            slots,
+            next: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Record an event; returns `false` (and counts a drop) when full.
+    #[inline]
+    pub fn push(&self, event: Event) -> bool {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        if idx >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let slot = &self.slots[idx];
+        // Safety: `idx` is claimed exactly once, so this &mut does not alias.
+        unsafe { (*slot.event.get()).write(event) };
+        slot.committed.store(true, Ordering::Release);
+        true
+    }
+
+    /// Events recorded so far (claimed and committed or in flight).
+    pub fn len(&self) -> usize {
+        self.next.load(Ordering::Relaxed).min(self.slots.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events rejected because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copy out every committed event in claim order. Intended for the
+    /// cold path once writers have quiesced; a slot claimed but not yet
+    /// committed by a straggling writer is skipped.
+    pub fn drain(&self) -> Vec<Event> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        for slot in &self.slots[..n] {
+            if slot.committed.load(Ordering::Acquire) {
+                // Safety: committed with release ordering after the write.
+                out.push(unsafe { (*slot.event.get()).assume_init() });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(name: &'static str, ts: f64) -> Event {
+        Event::new(EventKind::Instant, name, 0, ts)
+    }
+
+    #[test]
+    fn push_and_drain_in_order() {
+        let ring = EventRing::new(8);
+        for i in 0..5 {
+            assert!(ring.push(ev("e", i as f64)));
+        }
+        let got = ring.drain();
+        assert_eq!(got.len(), 5);
+        for (i, e) in got.iter().enumerate() {
+            assert_eq!(e.ts_us, i as f64);
+        }
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        let ring = EventRing::new(3);
+        for i in 0..10 {
+            ring.push(ev("e", i as f64));
+        }
+        let got = ring.drain();
+        assert_eq!(got.len(), 3, "capacity bounds retained events");
+        // The *first* three survive — saturation, not wrap-around.
+        assert_eq!(got[0].ts_us, 0.0);
+        assert_eq!(got[2].ts_us, 2.0);
+        assert_eq!(ring.dropped(), 7);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_land() {
+        let ring = EventRing::new(8 * 1000);
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let ring = &ring;
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        ring.push(Event::new(EventKind::Instant, "e", t, i as f64));
+                    }
+                });
+            }
+        });
+        let got = ring.drain();
+        assert_eq!(got.len(), 8000);
+        assert_eq!(ring.dropped(), 0);
+        // Every (thread, i) pair present exactly once.
+        let mut seen = vec![false; 8000];
+        for e in got {
+            let k = e.tid as usize * 1000 + e.ts_us as usize;
+            assert!(!seen[k]);
+            seen[k] = true;
+        }
+    }
+}

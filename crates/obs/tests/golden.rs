@@ -1,0 +1,103 @@
+//! Golden-file smoke test for the Chrome exporter.
+//!
+//! The fixture [`Trace`] is built literally — no tracing session, no
+//! clocks — so the rendered JSON is bit-for-bit deterministic and the
+//! golden file pins the exporter's whole output surface: metadata
+//! ordering, dual-clock pids, span/instant/counter phases, sim-lane
+//! unit conversion, and the `otherData` metrics block.
+//!
+//! After an intentional exporter change, regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p zonal-obs --test golden` and review
+//! the diff.
+
+use zonal_obs::{Event, EventKind, MetricSnapshot, MetricValue, SimSpan, Trace};
+
+fn fixture() -> Trace {
+    let events = vec![
+        // Lane 0 (decode): an outer strip span with a nested tile span,
+        // plus one queue-depth counter sample.
+        Event::new(EventKind::Span, "decode strip", 0, 10.0)
+            .with_dur(40.0)
+            .with_arg("strip", 0)
+            .with_arg("tiles", 4),
+        Event::new(EventKind::Span, "tile decode", 0, 15.0).with_dur(20.0),
+        Event::new(EventKind::Sample, "queue depth", 0, 12.0).with_arg("value", 3),
+        // Lane 1 (compute): a kernel span and a fault instant.
+        Event::new(EventKind::Span, "kernel", 1, 12.0)
+            .with_dur(30.0)
+            .with_arg("flops", 4096)
+            .with_arg("atomics", 64),
+        Event::new(EventKind::Instant, "crash", 1, 50.0).with_arg("rank", 1),
+    ];
+    let sim_spans = vec![
+        SimSpan {
+            tid: 0,
+            lane: "sim copy",
+            name: "transfer strip 0".to_string(),
+            start_secs: 0.0,
+            dur_secs: 0.25,
+            args: vec![("bytes", 1024.0)],
+        },
+        SimSpan {
+            tid: 1,
+            lane: "sim compute",
+            name: "compute strip 0".to_string(),
+            start_secs: 0.25,
+            dur_secs: 0.5,
+            args: vec![],
+        },
+    ];
+    Trace {
+        events,
+        lanes: vec![(0, "decode".to_string()), (1, "compute".to_string())],
+        metrics: vec![
+            MetricSnapshot {
+                name: "pip_tests_avoided",
+                value: MetricValue::Counter(900),
+            },
+            MetricSnapshot {
+                name: "queue_depth",
+                value: MetricValue::Gauge(3),
+            },
+            MetricSnapshot {
+                name: "strip_cells",
+                value: MetricValue::Histogram {
+                    count: 2,
+                    sum: 128,
+                    max: 96,
+                },
+            },
+        ],
+        dropped: 0,
+        sim_spans,
+    }
+}
+
+#[test]
+fn exporter_output_matches_golden_file() {
+    let json = fixture().to_chrome_json();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_trace.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &json).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file exists");
+    assert_eq!(
+        json, golden,
+        "exporter output drifted from tests/golden_trace.json; if the \
+         change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+
+    // The golden itself must stay a structurally valid Chrome trace.
+    let summary = zonal_obs::validate_chrome_json(&golden).expect("golden validates");
+    assert_eq!(summary.n_spans, 5, "3 wall spans + 2 sim spans");
+    assert_eq!(summary.n_instants, 1);
+    assert_eq!(summary.n_samples, 1);
+    assert!(summary.has_sim_lanes);
+    for lane in ["decode", "compute", "sim copy", "sim compute"] {
+        assert!(
+            summary.lane_names.iter().any(|n| n == lane),
+            "missing lane {lane}: {:?}",
+            summary.lane_names
+        );
+    }
+}

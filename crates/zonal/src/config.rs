@@ -97,8 +97,19 @@ impl PipelineConfig {
         assert!(self.block_dim > 0, "block_dim must be positive");
         assert!(self.strip_rows > 0, "strip_rows must be positive");
         assert!(self.inflight_strips > 0, "inflight_strips must be positive");
+        assert!(
+            self.inflight_strips <= MAX_INFLIGHT_STRIPS,
+            "inflight_strips = {} exceeds the cap of {MAX_INFLIGHT_STRIPS}; \
+             each in-flight strip pins a strip's decoded tiles in host memory",
+            self.inflight_strips
+        );
     }
 }
+
+/// Upper bound on [`PipelineConfig::inflight_strips`]: beyond this the
+/// "bounded memory high-water mark" rationale for strip streaming is
+/// gone, so a huge value is almost certainly a configuration bug.
+pub const MAX_INFLIGHT_STRIPS: usize = 1024;
 
 #[cfg(test)]
 mod tests {
@@ -123,6 +134,22 @@ mod tests {
         assert_eq!(c.tile_deg, 0.25);
         assert_eq!(c.device.name, "Quadro 6000");
         c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the cap")]
+    fn absurd_inflight_rejected() {
+        PipelineConfig::test()
+            .with_inflight_strips(MAX_INFLIGHT_STRIPS + 1)
+            .validate();
+    }
+
+    #[test]
+    fn boundary_inflight_values_accepted() {
+        PipelineConfig::test().with_inflight_strips(1).validate();
+        PipelineConfig::test()
+            .with_inflight_strips(MAX_INFLIGHT_STRIPS)
+            .validate();
     }
 
     #[test]

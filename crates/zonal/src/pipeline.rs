@@ -36,6 +36,17 @@ use zonal_raster::TileSource;
 /// amortized): the constant the cost model prices Step 0 with.
 pub const DECODE_FLOPS_PER_CELL: u64 = 32;
 
+/// Bounded-channel capacity for the decode→compute hand-off, derived
+/// from the in-flight strip budget: live strips = queued strips + the
+/// strip a blocked sender holds + the strip being computed, so a budget
+/// of `inflight` leaves `inflight - 2` queue slots. Saturating at a
+/// floor of 1 keeps small budgets (1 or 2, where the subtraction would
+/// underflow or hit zero) on a real queue; the live-strip bound is then
+/// `max(inflight, 3)`.
+fn queue_capacity(inflight: usize) -> usize {
+    inflight.saturating_sub(2).max(1)
+}
+
 /// A zone layer in both representations the pipeline needs: object polygons
 /// for Step 2's exact classification, flattened arrays for Step 4's kernel.
 #[derive(Debug, Clone)]
@@ -180,6 +191,7 @@ pub fn run_partition(cfg: &PipelineConfig, zones: &Zones, source: &impl TileSour
         let ty1 = (ty0 + cfg.strip_rows).min(tiles_y);
         let first_tid = ty0 * tiles_x;
         let strip_tiles = (ty1 - ty0) * tiles_x;
+        let mut span = zonal_obs::span("step0: decode strip");
         let t0 = Instant::now();
         let tiles = exec::launch_map(strip_tiles, |b| {
             let tid = first_tid + b;
@@ -194,6 +206,17 @@ pub fn run_partition(cfg: &PipelineConfig, zones: &Zones, source: &impl TileSour
                 source.tile_encoded_bytes(tx, ty) as u64
             })
             .sum();
+        let decode_work = KernelWork {
+            flops: cells * DECODE_FLOPS_PER_CELL,
+            coalesced_bytes: encoded_bytes + cells * 2,
+            ..Default::default()
+        };
+        span.arg("strip", strip as u64)
+            .arg("tiles", strip_tiles as u64)
+            .arg("cells", cells)
+            .arg("encoded_bytes", encoded_bytes)
+            .arg("flops", decode_work.flops)
+            .arg("coalesced_bytes", decode_work.coalesced_bytes);
         DecodedStrip {
             strip,
             first_tid,
@@ -201,18 +224,23 @@ pub fn run_partition(cfg: &PipelineConfig, zones: &Zones, source: &impl TileSour
             encoded_bytes,
             cells,
             decode_wall,
-            decode_work: KernelWork {
-                flops: cells * DECODE_FLOPS_PER_CELL,
-                coalesced_bytes: encoded_bytes + cells * 2,
-                ..Default::default()
-            },
+            decode_work,
         }
     };
+
+    // PIP efficiency counter pair (the paper's headline saving): cells
+    // refined in Step 4 vs. cells settled wholesale by tile classification.
+    let pip_performed = zonal_obs::counter("pip_tests_performed");
+    let pip_avoided = zonal_obs::counter("pip_tests_avoided");
 
     // ----- Compute stage (Steps 1/3/4): drains strips strictly in order.
     // Per-strip counters feed both the step totals and the per-strip
     // stream records, so totals equal the sum over strips exactly.
     let mut consume = |d: DecodedStrip| {
+        let mut strip_span = zonal_obs::span("compute strip");
+        strip_span
+            .arg("strip", d.strip as u64)
+            .arg("cells", d.cells);
         timings.steps[0].wall_secs += d.decode_wall;
         counts.n_cells += d.cells;
         counts.encoded_bytes += d.encoded_bytes;
@@ -278,32 +306,50 @@ pub fn run_partition(cfg: &PipelineConfig, zones: &Zones, source: &impl TileSour
 
     if cfg.inflight_strips == 1 || n_strips <= 1 {
         // Serial schedule: each strip fully decoded, then fully computed.
+        zonal_obs::set_lane_name("compute");
         for strip in 0..n_strips {
             consume(decode_strip(strip));
         }
     } else {
         // Overlapped schedule: the decoder thread runs ahead, bounded so
-        // live strips never exceed `inflight_strips` (channel queue +
-        // the strip a blocked sender holds + the strip being computed).
-        let queue_cap = cfg.inflight_strips - 2;
+        // live strips never exceed `max(inflight_strips, 3)` — see
+        // `queue_capacity` for the budget arithmetic (the subtraction
+        // there saturates, fixing the underflow a raw
+        // `inflight_strips - 2` would hit at small budgets).
+        let queue_cap = queue_capacity(cfg.inflight_strips);
+        let queue_depth = zonal_obs::gauge("strip_queue_depth");
+        let depth = AtomicUsize::new(0);
         let decode_strip = &decode_strip;
+        zonal_obs::set_lane_name("compute");
         std::thread::scope(|s| {
             let (tx, rx) = crossbeam::channel::bounded(queue_cap);
+            let depth = &depth;
             s.spawn(move || {
+                zonal_obs::set_lane_name("decode");
                 for strip in 0..n_strips {
-                    if tx.send(decode_strip(strip)).is_err() {
+                    let d = decode_strip(strip);
+                    // Count the strip before it is visible to the consumer
+                    // so the depth can never transiently underflow.
+                    queue_depth.record(depth.fetch_add(1, Ordering::Relaxed) as u64 + 1);
+                    if tx.send(d).is_err() {
                         break; // compute side panicked; unwind quietly
                     }
                 }
             });
             let mut expected = 0;
             while let Ok(d) = rx.recv() {
+                queue_depth.record(depth.fetch_sub(1, Ordering::Relaxed) as u64 - 1);
                 debug_assert_eq!(d.strip, expected, "strips must arrive in order");
                 expected += 1;
                 consume(d);
             }
         });
     }
+
+    pip_performed.add(counts.pip_cells_tested);
+    // Saturating: with heavily overlapping zones a cell can be PIP-tested
+    // once per intersecting polygon, exceeding the partition's cell count.
+    pip_avoided.add(counts.n_cells.saturating_sub(counts.pip_cells_tested));
 
     let hists = ZoneHistograms::from_flat(n_zones, n_bins, zone_buf.into_vec());
     timings.raster_input_bytes = counts.encoded_bytes;
@@ -355,7 +401,10 @@ pub fn run_partitions<S: TileSource>(
                 if i >= sources.len() {
                     break;
                 }
+                let mut span = zonal_obs::span("partition");
+                span.arg("partition", i as u64);
                 let r = run_partition(cfg, zones, &sources[i]);
+                drop(span);
                 if tx.send((i, r)).is_err() {
                     break;
                 }
@@ -493,6 +542,35 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn queue_capacity_clamps_small_budgets() {
+        // inflight 2 used to compute `2 - 2 = 0`; inflight 1 would have
+        // underflowed had the serial branch not short-circuited it. Both
+        // must now yield a positive capacity.
+        assert_eq!(queue_capacity(1), 1);
+        assert_eq!(queue_capacity(2), 1);
+        assert_eq!(queue_capacity(3), 1);
+        assert_eq!(queue_capacity(4), 2);
+        assert_eq!(queue_capacity(10), 8);
+    }
+
+    #[test]
+    fn smallest_inflight_budgets_run_to_completion() {
+        // End-to-end at inflight ∈ {1, 2} over several strips: 1 takes the
+        // serial branch, 2 exercises the clamped channel capacity.
+        let (zones, raster, grid) = simple_setup();
+        let src = raster.tile_source(&grid);
+        let mut base_cfg = PipelineConfig::test().with_bins(8).with_inflight_strips(1);
+        base_cfg.strip_rows = 1; // 5 strips
+        let base = run_partition(&base_cfg, &zones, &src);
+        assert!(base.timings.strips.len() > 2);
+        for inflight in [1usize, 2] {
+            let r = run_partition(&base_cfg.with_inflight_strips(inflight), &zones, &src);
+            assert_eq!(r.hists, base.hists, "inflight={inflight}");
+            assert_eq!(r.counts, base.counts, "inflight={inflight}");
         }
     }
 

@@ -36,6 +36,13 @@ pub fn per_tile_histograms(
     cell_work: &WorkCounter,
     fixed_work: &WorkCounter,
 ) -> Vec<TileHistogram> {
+    let traced = zonal_obs::enabled();
+    let before = if traced {
+        cell_work.snapshot().merge(&fixed_work.snapshot())
+    } else {
+        Default::default()
+    };
+    let mut span = zonal_obs::span("step1: per-tile histograms");
     let hists = exec::launch_map(tiles.len(), |b| {
         let tile = &tiles[b];
         // Zero histogram bins (Fig. 2 lines 2–4).
@@ -69,6 +76,10 @@ pub fn per_tile_histograms(
     fixed_work.add_coalesced(tiles.len() as u64 * n_bins as u64 * 4 * 2);
     fixed_work.add_flops(tiles.len() as u64 * n_bins as u64);
     fixed_work.add_launch();
+    if traced {
+        let after = cell_work.snapshot().merge(&fixed_work.snapshot());
+        exec::attach_work_args(&mut span, tiles.len(), &before, &after);
+    }
     hists
 }
 

@@ -22,6 +22,13 @@ pub fn aggregate_inside(
     n_bins: usize,
     fixed_work: &WorkCounter,
 ) {
+    let traced = zonal_obs::enabled();
+    let before = if traced {
+        fixed_work.snapshot()
+    } else {
+        Default::default()
+    };
+    let mut span = zonal_obs::span("step3: aggregate inside tiles");
     exec::launch(pairs.len(), |b| {
         let (pid, tile_hist) = pairs[b];
         debug_assert_eq!(tile_hist.len(), n_bins);
@@ -38,6 +45,9 @@ pub fn aggregate_inside(
     fixed_work.add_coalesced(pair_bins * (4 + 8));
     fixed_work.add_flops(pair_bins);
     fixed_work.add_launch();
+    if traced {
+        exec::attach_work_args(&mut span, pairs.len(), &before, &fixed_work.snapshot());
+    }
 }
 
 #[cfg(test)]

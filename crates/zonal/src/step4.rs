@@ -57,6 +57,13 @@ pub fn refine_intersect(
     representative: CellRepresentative,
     cell_work: &WorkCounter,
 ) -> RefineCounts {
+    let traced = zonal_obs::enabled();
+    let before = if traced {
+        cell_work.snapshot()
+    } else {
+        Default::default()
+    };
+    let mut span = zonal_obs::span("step4: PIP refine boundary tiles");
     let gt = *grid.transform();
     let per_block = exec::launch_map(pairs.len(), |b| {
         let (pid, tid, tile) = pairs[b];
@@ -96,6 +103,9 @@ pub fn refine_intersect(
     cell_work.add_coalesced(total.cells_tested * 2);
     cell_work.add_atomics(total.cells_counted);
     cell_work.add_launch();
+    if traced {
+        exec::attach_work_args(&mut span, pairs.len(), &before, &cell_work.snapshot());
+    }
     total
 }
 

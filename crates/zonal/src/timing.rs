@@ -315,6 +315,121 @@ impl PipelineTimings {
     pub fn wall_secs(&self) -> f64 {
         self.steps.iter().map(|s| s.wall_secs).sum()
     }
+
+    /// Replay the overlapped cost-model schedule as simulated-device
+    /// trace lanes (see `zonal_obs::chrome`): the CPU-side Step 2 on a
+    /// host lane, per-strip H2D uploads (bracketed by the polygon upload
+    /// and histogram download) on a copy-engine lane, and per-strip
+    /// compute with nested per-kernel spans on a compute lane.
+    ///
+    /// The schedule comes from
+    /// [`CostModel::overlapped_pipeline_schedule`], the same recurrence
+    /// `overlapped_pipeline_secs` reports, so the exported timeline is a
+    /// faithful visual audit of
+    /// [`PipelineTimings::end_to_end_overlapped_sim_secs_at_scale`]:
+    /// upload span durations are exactly the per-strip transfer costs,
+    /// kernel span durations exactly `CostModel::kernel_secs` of that
+    /// strip's step work, and the last download ends at the overlapped
+    /// end-to-end figure (up to float re-association on span *edges*).
+    /// Returns no spans when there are no strip records.
+    pub fn sim_device_spans(&self, cell_factor: f64) -> Vec<zonal_obs::SimSpan> {
+        use zonal_obs::SimSpan;
+
+        const HOST: (u32, &str) = (0, "sim host (CPU step)");
+        const COPY: (u32, &str) = (1, "sim copy engine");
+        const COMPUTE: (u32, &str) = (2, "sim compute");
+
+        if self.strips.is_empty() {
+            return Vec::new();
+        }
+        let m = self.model();
+        let strip_costs: Vec<StripCost> = self
+            .strips
+            .iter()
+            .map(|s| StripCost {
+                transfer_secs: m.transfer_secs_f(s.encoded_bytes as f64 * cell_factor),
+                compute_secs: s.compute_secs_at_scale(&m, cell_factor),
+            })
+            .collect();
+        let sched = m.overlapped_pipeline_schedule(&strip_costs);
+
+        let mut spans = Vec::new();
+        let cpu = self.steps[2].sim_secs_at_scale(&m, cell_factor);
+        spans.push(SimSpan {
+            tid: HOST.0,
+            lane: HOST.1,
+            name: STEP_NAMES[2].to_string(),
+            start_secs: 0.0,
+            dur_secs: cpu,
+            args: vec![],
+        });
+        let poly_xfer = m.transfer_secs(self.fixed_input_bytes);
+        spans.push(SimSpan {
+            tid: COPY.0,
+            lane: COPY.1,
+            name: "polygon upload (H2D)".to_string(),
+            start_secs: cpu,
+            dur_secs: poly_xfer,
+            args: vec![("bytes", self.fixed_input_bytes as f64)],
+        });
+
+        // The stream pipeline runs after Step 2 and the polygon upload.
+        let base = cpu + poly_xfer;
+        for (i, ((s, cost), work)) in sched.iter().zip(&strip_costs).zip(&self.strips).enumerate() {
+            spans.push(SimSpan {
+                tid: COPY.0,
+                lane: COPY.1,
+                name: format!("strip {i} upload (H2D)"),
+                start_secs: base + s.xfer_start,
+                dur_secs: cost.transfer_secs,
+                args: vec![("bytes", work.encoded_bytes as f64 * cell_factor)],
+            });
+            spans.push(SimSpan {
+                tid: COMPUTE.0,
+                lane: COMPUTE.1,
+                name: format!("strip {i} compute"),
+                start_secs: base + s.comp_start,
+                dur_secs: cost.compute_secs,
+                args: vec![],
+            });
+            // Per-kernel spans tiling the strip's compute interval in
+            // step order; durations sum (in the same order) to
+            // `compute_secs`, so the tiling is exact.
+            let mut at = base + s.comp_start;
+            for &step in &[0usize, 1, 3, 4] {
+                let w = work.cell_work[step]
+                    .scale(cell_factor)
+                    .merge(&work.fixed_work[step]);
+                let dur = m.kernel_secs(STEP_CLASSES[step], &w);
+                spans.push(SimSpan {
+                    tid: COMPUTE.0,
+                    lane: COMPUTE.1,
+                    name: STEP_NAMES[step].to_string(),
+                    start_secs: at,
+                    dur_secs: dur,
+                    args: vec![
+                        ("flops", w.flops as f64),
+                        ("coalesced_bytes", w.coalesced_bytes as f64),
+                        ("scattered_bytes", w.scattered_bytes as f64),
+                        ("atomics", w.atomics as f64),
+                        ("launches", w.launches as f64),
+                    ],
+                });
+                at += dur;
+            }
+        }
+
+        let makespan = sched.last().map_or(0.0, |s| s.comp_done);
+        spans.push(SimSpan {
+            tid: COPY.0,
+            lane: COPY.1,
+            name: "zone histogram download (D2H)".to_string(),
+            start_secs: base + makespan,
+            dur_secs: m.transfer_secs(self.output_bytes),
+            args: vec![("bytes", self.output_bytes as f64)],
+        });
+        spans
+    }
 }
 
 #[cfg(test)]
@@ -468,5 +583,116 @@ mod tests {
         assert_eq!(a.fixed_input_bytes, 14);
         assert_eq!(a.wall_secs(), 5.0);
         assert_eq!(a.strips.len(), 2, "strip records concatenate in order");
+    }
+
+    /// Timings with varied per-strip work, built the way the executor
+    /// builds them (step totals = sum over strips).
+    fn strip_timings(n_strips: u64) -> PipelineTimings {
+        let mut t = PipelineTimings::new(DeviceSpec::gtx_titan());
+        for i in 0..n_strips {
+            let mut s = StripWork {
+                encoded_bytes: 40_000_000 + 5_000_000 * (i % 3),
+                raw_bytes: 400_000_000,
+                ..Default::default()
+            };
+            s.cell_work[0].flops = 2_000_000_000 + 500_000_000 * (i % 2);
+            s.cell_work[1].atomics = 150_000_000;
+            s.fixed_work[3].coalesced_bytes = 4_000_000;
+            s.cell_work[4].flops = 900_000_000 * (i % 4);
+            t.strips.push(s);
+            for step in [0usize, 1, 3, 4] {
+                t.steps[step].cell_work = t.steps[step].cell_work.merge(&s.cell_work[step]);
+                t.steps[step].fixed_work = t.steps[step].fixed_work.merge(&s.fixed_work[step]);
+            }
+            t.raster_input_bytes += s.encoded_bytes;
+        }
+        t.steps[2].wall_secs = 0.05;
+        t.fixed_input_bytes = 1_400_000;
+        t.output_bytes = 62_000_000;
+        t
+    }
+
+    #[test]
+    fn sim_spans_replay_cost_model_exactly() {
+        let t = strip_timings(6);
+        let m = t.model();
+        let spans = t.sim_device_spans(1.0);
+        // One host span, polygon upload + per-strip uploads + download on
+        // the copy lane, and per strip one compute span + four kernels.
+        assert_eq!(spans.len(), 1 + (1 + 6 + 1) + 6 * 5);
+
+        // Upload span durations are exactly the per-strip transfer cost.
+        for (i, s) in t.strips.iter().enumerate() {
+            let name = format!("strip {i} upload (H2D)");
+            let span = spans.iter().find(|x| x.name == name).unwrap();
+            assert_eq!(span.dur_secs, m.transfer_secs_f(s.encoded_bytes as f64));
+        }
+        // Kernel span durations are exactly kernel_secs of the step work,
+        // and per strip they sum to the strip's compute cost.
+        let mut kernel_total = 0.0;
+        for s in &t.strips {
+            for &step in &[0usize, 1, 3, 4] {
+                let w = s.cell_work[step].merge(&s.fixed_work[step]);
+                kernel_total += m.kernel_secs(STEP_CLASSES[step], &w);
+            }
+        }
+        let span_kernel_total: f64 = spans
+            .iter()
+            .filter(|x| STEP_NAMES.contains(&x.name.as_str()) && x.tid == 2)
+            .map(|x| x.dur_secs)
+            .sum();
+        assert!((span_kernel_total - kernel_total).abs() < 1e-15);
+
+        // The timeline ends at the overlapped end-to-end figure.
+        let end = spans
+            .iter()
+            .map(|x| x.start_secs + x.dur_secs)
+            .fold(0.0f64, f64::max);
+        let e2e = t.end_to_end_overlapped_sim_secs();
+        assert!(
+            (end - e2e).abs() <= 1e-12 * e2e.max(1.0),
+            "timeline end {end} vs overlapped e2e {e2e}"
+        );
+
+        // And the rendered trace passes structural validation (proper
+        // nesting of kernel spans inside strip compute spans).
+        let mut trace = zonal_obs::Trace {
+            events: Vec::new(),
+            lanes: Vec::new(),
+            metrics: Vec::new(),
+            dropped: 0,
+            sim_spans: Vec::new(),
+        };
+        trace.push_sim_spans(spans);
+        let summary = zonal_obs::validate_chrome_json(&trace.to_chrome_json()).unwrap();
+        assert!(summary.has_sim_lanes);
+    }
+
+    #[test]
+    fn sim_spans_scale_with_cell_factor() {
+        let t = strip_timings(4);
+        let m = t.model();
+        let f = 9.0;
+        let spans = t.sim_device_spans(f);
+        let span = spans
+            .iter()
+            .find(|x| x.name == "strip 0 upload (H2D)")
+            .unwrap();
+        assert_eq!(
+            span.dur_secs,
+            m.transfer_secs_f(t.strips[0].encoded_bytes as f64 * f)
+        );
+        let end = spans
+            .iter()
+            .map(|x| x.start_secs + x.dur_secs)
+            .fold(0.0f64, f64::max);
+        let e2e = t.end_to_end_overlapped_sim_secs_at_scale(f);
+        assert!((end - e2e).abs() <= 1e-12 * e2e.max(1.0));
+    }
+
+    #[test]
+    fn sim_spans_empty_without_strip_records() {
+        let t = PipelineTimings::new(DeviceSpec::gtx_titan());
+        assert!(t.sim_device_spans(1.0).is_empty());
     }
 }

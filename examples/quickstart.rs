@@ -7,6 +7,11 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Set `ZONAL_TRACE=out.json` to record the run as a Chrome trace
+//! (wall-clock decode/compute lanes plus simulated-device lanes; open
+//! the file in Perfetto or `chrome://tracing`). See DESIGN.md
+//! §Observability.
 
 use zonal_histo::geo::CountyConfig;
 use zonal_histo::gpusim::DeviceSpec;
@@ -17,6 +22,15 @@ use zonal_histo::zonal::timing::STEP_NAMES;
 use zonal_histo::zonal::PipelineConfig;
 
 fn main() {
+    // 0. Optional tracing: ZONAL_TRACE=FILE records this run.
+    let trace_path = std::env::var_os("ZONAL_TRACE");
+    let session = trace_path
+        .as_ref()
+        .map(|_| zonal_histo::obs::start(zonal_histo::obs::DEFAULT_RING_CAPACITY));
+    if session.is_some() {
+        zonal_histo::obs::set_lane_name("main");
+    }
+
     // 1. A zone layer: a 12×8 county-like tessellation over an 8°×6° box.
     let mut county_cfg = CountyConfig::small(42);
     county_cfg.nx = 12;
@@ -72,4 +86,17 @@ fn main() {
         "end-to-end (with transfers)",
         result.timings.end_to_end_sim_secs()
     );
+
+    // 6. Export the trace, wall lanes plus the cost model's simulated
+    //    device timeline (cell_factor 1.0: no full-scale extrapolation).
+    if let (Some(path), Some(session)) = (trace_path, session) {
+        let mut trace = session.finish();
+        trace.push_sim_spans(result.timings.sim_device_spans(1.0));
+        std::fs::write(&path, trace.to_chrome_json()).expect("write ZONAL_TRACE file");
+        println!(
+            "\nchrome trace written to {} ({} events; open in Perfetto or chrome://tracing)",
+            path.to_string_lossy(),
+            trace.events.len()
+        );
+    }
 }

@@ -13,7 +13,9 @@
 //! * [`gpusim::DeviceSpec`] — simulated device presets (Quadro 6000,
 //!   GTX Titan, Tesla K20X);
 //! * [`cluster`] — the simulated GPU-accelerated cluster used for the
-//!   Fig. 6 scaling study.
+//!   Fig. 6 scaling study;
+//! * [`obs`] — the tracing/metrics layer (Chrome-trace export with wall
+//!   and simulated-device clocks; see DESIGN.md §Observability).
 //!
 //! See `examples/quickstart.rs` for a complete end-to-end run.
 
@@ -22,4 +24,5 @@ pub use zonal_cluster as cluster;
 pub use zonal_core as zonal;
 pub use zonal_geo as geo;
 pub use zonal_gpusim as gpusim;
+pub use zonal_obs as obs;
 pub use zonal_raster as raster;
