@@ -2,22 +2,11 @@
 //!
 //! ```text
 //! tables <experiment> [--cpd N] [--seed N] [--json FILE] [--trace FILE]
-//!
-//! experiments:
-//!   table1       SRTM raster catalog & partition schema (Table 1)
-//!   table2       per-step runtimes, Quadro 6000 vs GTX Titan (Table 2)
-//!   fig6         node-count scaling on the simulated Titan cluster (Fig. 6)
-//!   compression  BQ-Tree compression ratio & transfer argument (§IV.B)
-//!   imbalance    per-node load dispersion at 8/16 nodes (§IV.C)
-//!   baseline     4-step pipeline vs full-PIP and scanline baselines (§II)
-//!   ablate-tile  tile-size sweep (§III.A tradeoff)
-//!   schedule     partition scheduling policies (§IV.C future work)
-//!   occupancy    shared-memory staging occupancy analysis (§III.D)
-//!   simplify     polygon simplification accuracy/cost tradeoff
-//!   sanitizer    tracked-buffer overhead of the kernel-sanitizer wiring
-//!   obs-overhead tracing probe cost, disabled and enabled (DESIGN.md §Obs)
-//!   all          everything above
+//! tables --list
 //! ```
+//!
+//! `--list` prints every experiment name with its one-line description
+//! (the same table the unknown-name diagnostic checks against).
 //!
 //! `--cpd` sets raster resolution in cells/degree (default 60 for the
 //! cluster experiments, 120 for Table 2; the paper's SRTM is 3600).
@@ -42,12 +31,62 @@ use zonal_core::timing::STEP_NAMES;
 use zonal_gpusim::DeviceSpec;
 use zonal_raster::srtm::{SrtmCatalog, SyntheticSrtm};
 
+/// Every experiment the harness knows, with its one-line description.
+/// `--list` prints this table; an experiment name not in it exits 2.
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table1", "SRTM raster catalog & partition schema (Table 1)"),
+    (
+        "table2",
+        "per-step runtimes, Quadro 6000 vs GTX Titan (Table 2)",
+    ),
+    (
+        "fig6",
+        "node-count scaling on the simulated Titan cluster (Fig. 6)",
+    ),
+    (
+        "compression",
+        "BQ-Tree compression ratio & transfer argument (§IV.B)",
+    ),
+    (
+        "imbalance",
+        "per-node load dispersion at 8/16 nodes (§IV.C)",
+    ),
+    (
+        "baseline",
+        "4-step pipeline vs full-PIP and scanline baselines (§II)",
+    ),
+    ("ablate-tile", "tile-size sweep (§III.A tradeoff)"),
+    (
+        "schedule",
+        "partition scheduling policies (§IV.C future work)",
+    ),
+    (
+        "occupancy",
+        "shared-memory staging occupancy analysis (§III.D)",
+    ),
+    ("simplify", "polygon simplification accuracy/cost tradeoff"),
+    (
+        "sanitizer",
+        "tracked-buffer overhead of the kernel-sanitizer wiring",
+    ),
+    (
+        "obs-overhead",
+        "tracing probe cost, disabled and enabled (DESIGN.md §Obs)",
+    ),
+    (
+        "serve",
+        "query service load test: batching, cache, admission (DESIGN.md §Serving)",
+    ),
+    ("all", "everything above"),
+];
+
 struct Args {
     experiment: String,
     cpd: Option<u32>,
     seed: u64,
     json: Option<String>,
     trace: Option<String>,
+    list: bool,
 }
 
 fn parse_args() -> Args {
@@ -57,10 +96,12 @@ fn parse_args() -> Args {
         seed: SEED,
         json: None,
         trace: None,
+        list: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
         match a.as_str() {
+            "--list" => args.list = true,
             "--cpd" => {
                 args.cpd = Some(
                     iter.next()
@@ -754,8 +795,143 @@ fn obs_overhead() {
     println!("within the <= 3% budget");
 }
 
+/// Serving-layer record dumped by `tables serve --json`: the load
+/// reports plus the headline figures CI gates on (`shed_rate`,
+/// `p99_ms`) hoisted to the top level so downstream tooling does not
+/// depend on the nested report shape.
+#[derive(serde::Serialize)]
+struct ServeDump {
+    cpd: u32,
+    partitions: usize,
+    zones: usize,
+    correctness_ok: bool,
+    p99_ms: f64,
+    shed_rate: f64,
+    cache_hit_rate: f64,
+    closed: zonal_serve::LoadReport,
+    closed_stats: zonal_serve::ServeStats,
+    open: zonal_serve::LoadReport,
+    open_stats: zonal_serve::ServeStats,
+}
+
+/// Load-test the serving layer (DESIGN.md §Serving layer): verify a
+/// served answer against the direct pipeline, measure closed-loop
+/// throughput/latency with a cache-friendly mix, then drive an
+/// open-loop overload against a tiny admission queue to demonstrate
+/// shedding instead of collapse.
+fn serve_experiment(cpd: u32, seed: u64, json: Option<&str>) {
+    use std::sync::Arc;
+    use zonal_serve::{
+        closed_loop, open_loop, PartitionSource, QueryMix, RasterStore, ServeConfig, ZonalQuery,
+        ZonalService,
+    };
+    println!("\n== Serving layer: batched, cached, backpressured queries ==");
+    println!("(reduced county layer over two BQ-compressed west-south partitions at {cpd} cells/degree)\n");
+
+    let zones = zonal_bench::small_zones(8, 5, 2);
+    let n_zones = zones.len();
+    let cfg = paper_cfg(DeviceSpec::gtx_titan());
+    let parts: Vec<PartitionSource> = (0..2)
+        .map(|i| {
+            let p = partition_of(cpd, "west-south", i);
+            let src = SyntheticSrtm::new(p.grid(cfg.tile_deg), seed);
+            PartitionSource::new(zonal_bqtree::compress_source(&src))
+        })
+        .collect();
+    let n_parts = parts.len();
+    let store = Arc::new(RasterStore::new(zones, parts));
+
+    // Correctness gate: one served answer vs the direct computation.
+    let direct =
+        zonal_core::run_partitions(&cfg.with_bins(500), store.zones(), store.snapshot().band(0));
+    let service = ZonalService::start(Arc::clone(&store), ServeConfig::new(cfg));
+    let served = service
+        .query(ZonalQuery::all_zones(500))
+        .expect("serve the check query");
+    let correctness_ok =
+        (0..n_zones).all(|z| served.zone(z as u32).expect("row") == direct.hists.zone(z));
+    assert!(correctness_ok, "served answer must match run_partitions");
+    println!("correctness: served all-zones answer == direct run_partitions (bit-identical)");
+
+    // Phase 1 — closed loop, cache-friendly mix (two plans repeat).
+    let mix = QueryMix::new(seed, vec![500, 1000], n_zones);
+    let closed = closed_loop(&service, &mix, 4, 30);
+    let closed_stats = service.shutdown();
+    println!("\nphase 1: closed loop, 4 clients x 30 queries, bins in {{500, 1000}}");
+    println!(
+        "  throughput {:.1} q/s; latency p50 {:.2} / p95 {:.2} / p99 {:.2} ms (max {:.2})",
+        closed.throughput_qps,
+        closed.latency.p50_ms,
+        closed.latency.p95_ms,
+        closed.latency.p99_ms,
+        closed.latency.max_ms
+    );
+    println!(
+        "  cache: row hit rate {:.1}%, {} partition passes + {} memo hits; mean batch {:.2}; shed rate {:.1}%",
+        100.0 * closed_stats.row_cache_hit_rate(),
+        closed_stats.pipeline_passes,
+        closed_stats.partition_cache_hits,
+        closed_stats.mean_batch_size(),
+        100.0 * closed.shed_rate
+    );
+    assert_eq!(closed.errors, 0, "closed loop must not error");
+
+    // Phase 2 — open loop against a tiny queue, every query a distinct
+    // bin spec so nothing memoizes: offered load far beyond capacity
+    // must shed, not queue unboundedly.
+    let mut overload_cfg = ServeConfig::new(cfg).without_batch_window();
+    overload_cfg.queue_capacity = 4;
+    let service = ZonalService::start(Arc::clone(&store), overload_cfg);
+    let mut mix = QueryMix::new(seed, (0..12).map(|i| 64 + 16 * i).collect(), n_zones);
+    mix.next_phase();
+    let open = open_loop(&service, &mix, 250, 1500.0);
+    let open_stats = service.shutdown();
+    println!("\nphase 2: open loop, 250 queries offered at 1500 q/s, queue capacity 4, 12 distinct plans");
+    println!(
+        "  completed {} / shed {} (rate {:.1}%); p99 {:.2} ms; queue-full {} / saturated {}",
+        open.completed,
+        open.shed,
+        100.0 * open.shed_rate,
+        open.latency.p99_ms,
+        open_stats.shed_queue_full,
+        open_stats.shed_saturated
+    );
+    assert!(
+        open.shed > 0,
+        "overload phase must shed at the admission gate"
+    );
+    assert_eq!(open.errors, 0, "sheds are typed, not errors");
+    println!("\noverload degrades into typed sheds at admission; every completed answer");
+    println!("is computed (or cached) from the same pipeline the batch harness runs.");
+
+    if let Some(path) = json {
+        let dump = ServeDump {
+            cpd,
+            partitions: n_parts,
+            zones: n_zones,
+            correctness_ok,
+            p99_ms: closed.latency.p99_ms,
+            shed_rate: open.shed_rate,
+            cache_hit_rate: closed_stats.row_cache_hit_rate(),
+            closed,
+            closed_stats,
+            open,
+            open_stats,
+        };
+        let body = serde_json::to_string_pretty(&dump).expect("serialize serve dump");
+        std::fs::write(path, body).expect("write --json file");
+        println!("(serving record written to {path})");
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.list {
+        for (name, what) in EXPERIMENTS {
+            println!("{name:<13} {what}");
+        }
+        return;
+    }
     let exp = args.experiment.as_str();
     let run_all = exp == "all";
     println!("zonal-histo experiment harness (seed {})", args.seed);
@@ -865,24 +1041,19 @@ fn main() {
             obs_overhead();
         }
     }
-    if !run_all
-        && !matches!(
-            exp,
-            "table1"
-                | "table2"
-                | "fig6"
-                | "compression"
-                | "imbalance"
-                | "baseline"
-                | "ablate-tile"
-                | "schedule"
-                | "occupancy"
-                | "simplify"
-                | "sanitizer"
-                | "obs-overhead"
-        )
-    {
-        eprintln!("unknown experiment '{exp}'; see --help text in the source header");
+    if run_all || exp == "serve" {
+        serve_experiment(
+            args.cpd.unwrap_or(20),
+            args.seed,
+            if exp == "serve" {
+                args.json.as_deref()
+            } else {
+                None
+            },
+        );
+    }
+    if !EXPERIMENTS.iter().any(|(name, _)| *name == exp) {
+        eprintln!("unknown experiment '{exp}'; run `tables --list` for the experiment table");
         std::process::exit(2);
     }
 

@@ -34,6 +34,76 @@ fn unknown_experiment_exits_nonzero() {
     );
 }
 
+/// Satellite: `tables --list` prints every experiment with a one-line
+/// description and exits 0 — the discoverable counterpart of the
+/// unknown-name diagnostic above.
+#[test]
+fn list_prints_every_experiment() {
+    let out = tables().arg("--list").output().expect("spawn tables");
+    assert!(out.status.success(), "status: {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "table1",
+        "table2",
+        "fig6",
+        "compression",
+        "imbalance",
+        "baseline",
+        "ablate-tile",
+        "schedule",
+        "occupancy",
+        "simplify",
+        "sanitizer",
+        "obs-overhead",
+        "serve",
+        "all",
+    ] {
+        let listed = stdout
+            .lines()
+            .any(|l| l.split_whitespace().next() == Some(name) && l.len() > name.len() + 1);
+        assert!(
+            listed,
+            "experiment '{name}' missing a described line:\n{stdout}"
+        );
+    }
+}
+
+/// Serving-layer smoke: `tables serve --json FILE` verifies a served
+/// answer against the direct pipeline in-process, reports latency
+/// percentiles and a nonzero overload shed rate, and dumps the record
+/// with the fields CI gates on.
+#[test]
+fn serve_experiment_reports_and_dumps_json() {
+    let path = std::env::temp_dir().join(format!("zonal-serve-{}.json", std::process::id()));
+    let out = tables()
+        .args(["serve", "--json"])
+        .arg(&path)
+        .output()
+        .expect("spawn tables");
+    assert!(
+        out.status.success(),
+        "tables serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bit-identical"), "stdout: {stdout}");
+    assert!(stdout.contains("throughput"), "stdout: {stdout}");
+    assert!(stdout.contains("p99"), "stdout: {stdout}");
+    assert!(stdout.contains("shed"), "stdout: {stdout}");
+
+    let json = std::fs::read_to_string(&path).expect("json written");
+    let _ = std::fs::remove_file(&path);
+    for field in [
+        "\"correctness_ok\": true",
+        "\"p99_ms\"",
+        "\"shed_rate\"",
+        "\"cache_hit_rate\"",
+        "\"throughput_qps\"",
+    ] {
+        assert!(json.contains(field), "missing {field} in: {json}");
+    }
+}
+
 /// Satellite: the pip_tests_performed / pip_tests_avoided counter pair.
 ///
 /// On a layer of large zones (small_zones(8, 5, 2): counties ~7° across vs

@@ -1,0 +1,112 @@
+//! Concurrent-reader coverage for the compressed store: the serving
+//! layer decodes one `BqRaster` from many batch workers at once, so
+//! decoding must be safe and deterministic under arbitrary reader
+//! interleavings (decode is pure — the encoded tiles are shared
+//! read-only).
+
+use proptest::prelude::*;
+use zonal_bqtree::compress_source;
+use zonal_raster::{GeoTransform, Raster, TileGrid, TileSource};
+
+/// A compressed raster with pseudo-random (but seed-deterministic)
+/// contents, plus varying shape and tile size.
+fn raster_strategy() -> impl Strategy<Value = (Raster, TileGrid)> {
+    (4usize..40, 4usize..40, 2usize..9, any::<u64>()).prop_map(|(rows, cols, tile, seed)| {
+        let gt = GeoTransform::new(0.0, 0.0, 0.1, 0.1);
+        let raster = Raster::from_fn(rows, cols, gt, |r, c| {
+            let mut z = seed ^ ((r as u64) << 32 | c as u64);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            (z % 97) as u16
+        });
+        let grid = TileGrid::new(rows, cols, tile, gt);
+        (raster, grid)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// N threads each decode every tile of a shared compressed raster;
+    /// all of them must see exactly the serial decode.
+    #[test]
+    fn concurrent_readers_decode_identically(
+        raster_and_grid in raster_strategy(),
+        readers in 1usize..8,
+    ) {
+        let (raster, grid) = raster_and_grid;
+        let bq = compress_source(&raster.tile_source(&grid));
+        let serial: Vec<_> = (0..grid.tiles_y())
+            .flat_map(|ty| (0..grid.tiles_x()).map(move |tx| (tx, ty)))
+            .map(|(tx, ty)| bq.tile(tx, ty))
+            .collect();
+
+        let decoded: Vec<Vec<_>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..readers)
+                .map(|r| {
+                    let bq = &bq;
+                    let grid = &grid;
+                    s.spawn(move || {
+                        // Stagger the walk per reader so threads contend
+                        // on different tiles at any instant.
+                        let n = grid.n_tiles();
+                        (0..n)
+                            .map(|i| {
+                                let t = (i + r * 7) % n;
+                                let (tx, ty) = (t % grid.tiles_x(), t / grid.tiles_x());
+                                (t, bq.tile(tx, ty))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    let mut tiles = h.join().expect("reader thread");
+                    tiles.sort_by_key(|(t, _)| *t);
+                    tiles.into_iter().map(|(_, tile)| tile).collect()
+                })
+                .collect()
+        });
+
+        for (r, tiles) in decoded.iter().enumerate() {
+            prop_assert_eq!(tiles, &serial, "reader {} diverged from serial decode", r);
+        }
+    }
+
+    /// Concurrent readers also agree on the encoded-size accounting the
+    /// pipeline's transfer model reads while the decode threads run.
+    #[test]
+    fn concurrent_size_queries_are_stable(
+        raster_and_grid in raster_strategy(),
+        readers in 2usize..6,
+    ) {
+        let (raster, grid) = raster_and_grid;
+        let bq = compress_source(&raster.tile_source(&grid));
+        let serial: Vec<usize> = (0..grid.tiles_y())
+            .flat_map(|ty| (0..grid.tiles_x()).map(move |tx| (tx, ty)))
+            .map(|(tx, ty)| bq.tile_encoded_bytes(tx, ty))
+            .collect();
+        let all: Vec<Vec<usize>> = std::thread::scope(|s| {
+            (0..readers)
+                .map(|_| {
+                    let bq = &bq;
+                    let grid = &grid;
+                    s.spawn(move || {
+                        (0..grid.tiles_y())
+                            .flat_map(|ty| (0..grid.tiles_x()).map(move |tx| (tx, ty)))
+                            .map(|(tx, ty)| {
+                                let _decode_in_parallel = bq.tile(tx, ty);
+                                bq.tile_encoded_bytes(tx, ty)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .map(|h| h.join().expect("reader thread"))
+                .collect()
+        });
+        for sizes in &all {
+            prop_assert_eq!(sizes, &serial);
+        }
+    }
+}

@@ -12,6 +12,11 @@
 //! (wall-clock decode/compute lanes plus simulated-device lanes; open
 //! the file in Perfetto or `chrome://tracing`). See DESIGN.md
 //! §Observability.
+//!
+//! Set `ZONAL_SERVE=1` to also stand up the query service over the
+//! same DEM and answer a few served queries — demonstrating that a
+//! served answer is bit-identical to the direct pipeline run. See
+//! DESIGN.md §Serving layer.
 
 use zonal_histo::geo::CountyConfig;
 use zonal_histo::gpusim::DeviceSpec;
@@ -87,7 +92,57 @@ fn main() {
         result.timings.end_to_end_sim_secs()
     );
 
-    // 6. Export the trace, wall lanes plus the cost model's simulated
+    // 6. Optional serving demo: ZONAL_SERVE=1 answers queries over the
+    //    same DEM through the query service (admission → batching →
+    //    cache) and checks them against the direct run above.
+    if std::env::var_os("ZONAL_SERVE").is_some_and(|v| v != "0") {
+        use std::sync::Arc;
+        use zonal_histo::serve::{
+            PartitionSource, RasterStore, ServeConfig, ZonalQuery, ZonalService,
+        };
+        println!("\nserved queries (ZONAL_SERVE):");
+        let bq = zonal_histo::bqtree::compress_source(&dem);
+        let store = Arc::new(RasterStore::new(
+            Zones::new(county_cfg.generate()),
+            vec![PartitionSource::new(bq)],
+        ));
+        let service = ZonalService::start(store, ServeConfig::new(cfg));
+
+        let answer = service
+            .query(ZonalQuery::all_zones(cfg.n_bins))
+            .expect("served all-zones query");
+        for z in 0..zones.len() {
+            assert_eq!(
+                answer.zone(z as u32).expect("row"),
+                result.hists.zone(z),
+                "served answer must be bit-identical to the direct run"
+            );
+        }
+        println!("  all-zones answer matches the direct run above (bit-identical)");
+
+        let subset = service
+            .query(ZonalQuery::zone_subset(256, vec![0, 5]))
+            .expect("served subset query");
+        println!(
+            "  {} re-binned to 256 bins: {} cells (raster version {})",
+            zones.layer.name(0),
+            subset.zone(0).expect("row").iter().sum::<u64>(),
+            subset.raster_version
+        );
+
+        let again = service
+            .query(ZonalQuery::all_zones(cfg.n_bins))
+            .expect("repeat query");
+        let stats = service.shutdown();
+        println!(
+            "  repeat query from_cache: {}; row cache hit rate {:.0}%; {} pipeline pass(es)",
+            again.from_cache,
+            100.0 * stats.row_cache_hit_rate(),
+            stats.pipeline_passes
+        );
+    }
+
+    // 7. Export the trace, wall lanes plus the cost model's simulated
     //    device timeline (cell_factor 1.0: no full-scale extrapolation).
     if let (Some(path), Some(session)) = (trace_path, session) {
         let mut trace = session.finish();

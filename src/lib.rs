@@ -15,7 +15,9 @@
 //! * [`cluster`] — the simulated GPU-accelerated cluster used for the
 //!   Fig. 6 scaling study;
 //! * [`obs`] — the tracing/metrics layer (Chrome-trace export with wall
-//!   and simulated-device clocks; see DESIGN.md §Observability).
+//!   and simulated-device clocks; see DESIGN.md §Observability);
+//! * [`serve`] — the batched, cached, backpressured query service over
+//!   the pipeline (see DESIGN.md §Serving layer).
 //!
 //! See `examples/quickstart.rs` for a complete end-to-end run.
 
@@ -26,3 +28,4 @@ pub use zonal_geo as geo;
 pub use zonal_gpusim as gpusim;
 pub use zonal_obs as obs;
 pub use zonal_raster as raster;
+pub use zonal_serve as serve;

@@ -1,0 +1,186 @@
+//! Serving-layer equivalence properties: a served answer is
+//! bit-identical to the direct `run_partitions` computation — with the
+//! cache on or off, batched or one-at-a-time, and across raster
+//! updates. This is the contract that makes the serving layer an
+//! optimization rather than an approximation.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use zonal_histo::geo::{Polygon, PolygonLayer};
+use zonal_histo::raster::{GeoTransform, Raster, TileGrid};
+use zonal_histo::serve::{
+    PartitionSource, QueryMix, RasterStore, ServeConfig, ZonalQuery, ZonalService,
+};
+use zonal_histo::zonal::pipeline::{run_partitions, Zones};
+use zonal_histo::zonal::PipelineConfig;
+
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic random fixture: 1–3 adjacent 8×8-cell partitions
+/// (0.5° cells, 4-cell tiles = 2.0°) and 2–4 random rectangular zones
+/// over the combined extent.
+fn fixture(seed: u64) -> (Zones, Vec<PartitionSource>) {
+    let n_parts = 1 + (mix64(seed) % 3) as usize;
+    let n_zones = 2 + (mix64(seed ^ 1) % 3) as usize;
+    let width = 4.0 * n_parts as f64;
+    let zones = (0..n_zones)
+        .map(|k| {
+            let r = mix64(seed.wrapping_add(100 + k as u64));
+            let x0 = (r % 1000) as f64 / 1000.0 * (width - 1.0);
+            let y0 = ((r >> 10) % 1000) as f64 / 1000.0 * 3.0;
+            let w = 0.5 + ((r >> 20) % 1000) as f64 / 1000.0 * (width - x0 - 0.5);
+            let h = 0.5 + ((r >> 30) % 1000) as f64 / 1000.0 * (4.0 - y0 - 0.5);
+            Polygon::rect(x0, y0, x0 + w, y0 + h)
+        })
+        .collect();
+    let parts = (0..n_parts)
+        .map(|i| {
+            let gt = GeoTransform::new(4.0 * i as f64, 0.0, 0.5, 0.5);
+            let raster = Raster::from_fn(8, 8, gt, |r, c| {
+                (mix64(seed ^ ((i as u64) << 40 | (r as u64) << 20 | c as u64)) % 61) as u16
+            });
+            let grid = TileGrid::new(8, 8, 4, gt);
+            PartitionSource::new(zonal_histo::bqtree::compress_source(
+                &raster.tile_source(&grid),
+            ))
+        })
+        .collect();
+    (Zones::new(PolygonLayer::from_polygons(zones)), parts)
+}
+
+fn cfg() -> PipelineConfig {
+    PipelineConfig::test().with_tile_deg(2.0)
+}
+
+/// The oracle every serving configuration must match bit-for-bit.
+fn direct_rows(store: &RasterStore, n_bins: usize) -> Vec<Vec<u64>> {
+    let result = run_partitions(
+        &cfg().with_bins(n_bins),
+        store.zones(),
+        store.snapshot().band(0),
+    );
+    (0..store.zones().len())
+        .map(|z| result.hists.zone(z).to_vec())
+        .collect()
+}
+
+/// A short reproducible query workload over the fixture's zones.
+fn workload(seed: u64, n_zones: usize) -> Vec<ZonalQuery> {
+    let mix = QueryMix::new(seed, vec![16, 48, 80], n_zones);
+    (0..6).map(|i| mix.query(i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn served_equals_direct(seed in any::<u64>(), n_bins in 8usize..128) {
+        let (zones, parts) = fixture(seed);
+        let store = Arc::new(RasterStore::new(zones, parts));
+        let want = direct_rows(&store, n_bins);
+        let service = ZonalService::start(Arc::clone(&store), ServeConfig::new(cfg()));
+        let resp = service.query(ZonalQuery::all_zones(n_bins)).expect("served");
+        for (z, row) in want.iter().enumerate() {
+            prop_assert_eq!(
+                resp.zone(z as u32).expect("row"),
+                row.as_slice(),
+                "zone {} diverged from run_partitions",
+                z
+            );
+        }
+    }
+
+    /// Caching is transparent: the same workload served twice with the
+    /// cache enabled equals the cache-disabled service, byte for byte.
+    #[test]
+    fn cache_on_equals_cache_off(seed in any::<u64>()) {
+        let (zones, parts) = fixture(seed);
+        let store = Arc::new(RasterStore::new(zones, parts));
+        let n_zones = store.zones().len();
+        let cached = ZonalService::start(Arc::clone(&store), ServeConfig::new(cfg()));
+        let uncached = ZonalService::start(
+            Arc::clone(&store),
+            ServeConfig::new(cfg()).without_caching(),
+        );
+        // Twice through the workload so the second pass hits the cache.
+        for q in workload(seed, n_zones).iter().chain(workload(seed, n_zones).iter()) {
+            let a = cached.query(q.clone()).expect("cached service");
+            let b = uncached.query(q.clone()).expect("uncached service");
+            prop_assert_eq!(a.rows.len(), b.rows.len());
+            for ((za, ra), (zb, rb)) in a.rows.iter().zip(&b.rows) {
+                prop_assert_eq!(za, zb);
+                prop_assert_eq!(ra.as_slice(), rb.as_slice(), "query {:?}", q);
+            }
+        }
+        let stats = cached.shutdown();
+        prop_assert!(stats.row_cache_hits > 0, "second pass must hit the cache");
+    }
+
+    /// Batching is transparent: a burst submitted into one coalescing
+    /// window equals the same queries served strictly one at a time.
+    #[test]
+    fn batched_equals_one_at_a_time(seed in any::<u64>()) {
+        let (zones, parts) = fixture(seed);
+        let store = Arc::new(RasterStore::new(zones, parts));
+        let n_zones = store.zones().len();
+        let queries = workload(seed, n_zones);
+
+        let mut batching_cfg = ServeConfig::new(cfg());
+        batching_cfg.batch_window = std::time::Duration::from_millis(60);
+        let batching = ZonalService::start(Arc::clone(&store), batching_cfg);
+        let tickets: Vec<_> = queries
+            .iter()
+            .map(|q| batching.submit(q.clone()).expect("admitted"))
+            .collect();
+        let batched: Vec<_> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("answered"))
+            .collect();
+
+        let serial_cfg = ServeConfig::new(cfg())
+            .without_caching()
+            .without_batch_window();
+        let serial = ZonalService::start(Arc::clone(&store), serial_cfg);
+        for (q, got) in queries.iter().zip(&batched) {
+            let want = serial.query(q.clone()).expect("serial service");
+            prop_assert_eq!(got.rows.len(), want.rows.len());
+            for ((zg, rg), (zw, rw)) in got.rows.iter().zip(&want.rows) {
+                prop_assert_eq!(zg, zw);
+                prop_assert_eq!(rg.as_slice(), rw.as_slice(), "query {:?}", q);
+            }
+        }
+    }
+
+    /// A raster update invalidates: answers after `update_raster` match
+    /// the direct computation on the new raster, never the old one.
+    #[test]
+    fn update_switches_to_new_raster(seed in any::<u64>(), n_bins in 8usize..96) {
+        let (zones, parts) = fixture(seed);
+        let store = Arc::new(RasterStore::new(zones, parts));
+        let service = ZonalService::start(Arc::clone(&store), ServeConfig::new(cfg()));
+        let v1 = service.query(ZonalQuery::all_zones(n_bins)).expect("v1");
+        prop_assert_eq!(v1.raster_version, 1);
+
+        let (_, new_parts) = fixture(seed ^ 0xdead_beef);
+        // The new fixture may have a different partition count; the
+        // store takes whatever band layout the update supplies.
+        let v2 = service.update_raster(vec![new_parts]);
+        prop_assert_eq!(v2, 2);
+        let want = direct_rows(&store, n_bins);
+        let resp = service.query(ZonalQuery::all_zones(n_bins)).expect("v2");
+        prop_assert_eq!(resp.raster_version, 2);
+        for (z, row) in want.iter().enumerate() {
+            prop_assert_eq!(
+                resp.zone(z as u32).expect("row"),
+                row.as_slice(),
+                "post-update zone {} diverged from the new raster",
+                z
+            );
+        }
+    }
+}
